@@ -1,0 +1,27 @@
+"""Bench: Figures 10/11 -- weak scaling of the subspace build without and
+with vector reduction.
+
+Paper: without vector reduction tree building becomes prohibitive beyond
+~512 threads (one scalar reduction per subspace); with it, tree building
+scales smoothly (one vector reduction per level: e.g. 10400 subspaces ->
+9 reductions)."""
+
+from repro.experiments.figures import run_fig10, run_fig11
+from repro.experiments.shapes import check_fig10_vs_fig11
+
+
+def test_fig10_fig11(benchmark, results_dir, scale):
+    def run_both():
+        return run_fig10(scale), run_fig11(scale)
+
+    f10, f11 = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    for fid, res in (("fig10", f10), ("fig11", f11)):
+        md = res.to_markdown(title=f"Figure {fid[3:]}: weak scaling, "
+                             "subspace build")
+        print("\n" + md)
+        (results_dir / f"{fid}.md").write_text(md)
+        res.to_csv(results_dir / f"{fid}.csv")
+    checks = check_fig10_vs_fig11(f10, f11)
+    for c in checks:
+        print(f"[{'PASS' if c.ok else 'FAIL'}] {c.name} -- {c.detail}")
+    assert all(c.ok for c in checks)

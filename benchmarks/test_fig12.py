@@ -1,0 +1,24 @@
+"""Bench: Figure 12 -- weak scaling varying threads per node.
+
+Paper: fewer nodes (more threads per node) perform better but not by much;
+process mode ("-pthreads disabled") beats 1 thread/node by ~50%."""
+
+from repro.experiments.figures import run_fig12
+
+
+def test_fig12(benchmark, results_dir, scale):
+    res = benchmark.pedantic(lambda: run_fig12(scale), rounds=1,
+                             iterations=1)
+    md = res.to_markdown(title="Figure 12: weak scaling by threads/node")
+    print("\n" + md)
+    (results_dir / "fig12.md").write_text(md)
+    res.to_csv(results_dir / "fig12.csv")
+    dense = res.series["16 threads/node"]
+    sparse = res.series["1 thread/node"]
+    process = res.series["1 process/node"]
+    # paper: fewer nodes better "but not by much" (7%); at our scale the
+    # shared-memory fast path trades against per-node adapter sharing, so
+    # assert comparability rather than strict ordering
+    assert dense[-1] <= sparse[-1] * 1.3
+    # process mode beats pthread mode at the same 1-per-node topology
+    assert process[-1] < sparse[-1]

@@ -1,0 +1,22 @@
+"""Bench: Figure 13 -- strong scaling speedup of the final code.
+
+Paper: 2M bodies scale to 512 threads with the inflection where each
+thread holds ~4k bodies; at our scaled N the inflection appears at the
+same bodies-per-thread point."""
+
+from repro.experiments.figures import run_fig13
+from repro.experiments.shapes import check_fig13
+
+
+def test_fig13(benchmark, results_dir, scale):
+    res = benchmark.pedantic(lambda: run_fig13(scale), rounds=1,
+                             iterations=1)
+    md = res.to_markdown(title="Figure 13: strong scaling speedup")
+    print("\n" + md)
+    print(res.ascii_plot())
+    (results_dir / "fig13.md").write_text(md)
+    res.to_csv(results_dir / "fig13.csv")
+    checks = check_fig13(res)
+    for c in checks:
+        print(f"[{'PASS' if c.ok else 'FAIL'}] {c.name} -- {c.detail}")
+    assert all(c.ok for c in checks)

@@ -1,0 +1,23 @@
+"""Bench: Figure 6 -- per-phase time at 112 threads per optimization level.
+
+Paper: with all optimizations applied, force computation consumes 82.4% of
+the total at 112 processes."""
+
+from repro.experiments.figures import FIG5_TABLES, run_fig6
+
+
+def test_fig6(benchmark, get_table, results_dir, scale):
+    tables = {tid: get_table(tid) for tid in FIG5_TABLES}
+    res = benchmark.pedantic(
+        lambda: run_fig6(scale, tables=tables), rounds=1, iterations=1)
+    md = res.to_markdown(title="Figure 6: phase times at max threads per "
+                               "level")
+    print("\n" + md)
+    print(res.ascii_plot())
+    (results_dir / "fig6.md").write_text(md)
+    res.to_csv(results_dir / "fig6.csv")
+    # force dominates the baseline level and shrinks monotonically overall
+    force = res.series["force"]
+    total = res.series["total"]
+    assert force[0] / total[0] > 0.9
+    assert force[-1] < force[0] / 50

@@ -1,0 +1,22 @@
+"""Bench: Figure 7 -- weak scaling of the L5 code, 16 threads/node.
+
+Paper claim: all phases scale well except tree building, which grows with
+thread count (merge imbalance) and becomes the dominant phase at scale."""
+
+from repro.experiments.figures import run_fig7
+
+
+def test_fig7(benchmark, results_dir, scale):
+    res = benchmark.pedantic(lambda: run_fig7(scale), rounds=1,
+                             iterations=1)
+    md = res.to_markdown(title="Figure 7: weak scaling, merge-based build")
+    print("\n" + md)
+    print(res.ascii_plot())
+    (results_dir / "fig7.md").write_text(md)
+    res.to_csv(results_dir / "fig7.csv")
+    tb = res.series["treebuild"]
+    force = res.series["force"]
+    # tree building grows with threads under weak scaling...
+    assert tb[-1] > tb[0]
+    # ...faster than force does (the paper's divergence)
+    assert tb[-1] / max(tb[0], 1e-12) > force[-1] / max(force[0], 1e-12)

@@ -1,0 +1,19 @@
+"""Bench: Figure 8 -- per-thread tree-build sub-phase times at 128 threads.
+
+Paper: local tree building is balanced and cheap (<0.5s); tree merging is
+wildly imbalanced (0..26s) -- the winner/loser effect."""
+
+from repro.experiments.figures import run_fig8
+from repro.experiments.shapes import check_fig8
+
+
+def test_fig8(benchmark, results_dir, scale):
+    res = benchmark.pedantic(lambda: run_fig8(scale, nthreads=128),
+                             rounds=1, iterations=1)
+    (results_dir / "fig8.md").write_text(
+        res.to_markdown(title="Figure 8: tree-build sub-phases per thread"))
+    res.to_csv(results_dir / "fig8.csv")
+    checks = check_fig8(res)
+    for c in checks:
+        print(f"[{'PASS' if c.ok else 'FAIL'}] {c.name} -- {c.detail}")
+    assert all(c.ok for c in checks)

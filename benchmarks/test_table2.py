@@ -1,0 +1,19 @@
+"""Bench: Table 2 -- baseline UPC Barnes-Hut (paper section 4.2)."""
+
+from repro.experiments.paper_data import PAPER_TABLES
+from repro.experiments.shapes import check_table2
+
+
+def test_table2(benchmark, get_table, results_dir):
+    res = benchmark.pedantic(lambda: get_table("table2"),
+                             rounds=1, iterations=1)
+    md = res.to_markdown(paper=PAPER_TABLES["table2"],
+                         title="Table 2: baseline (simulated seconds, "
+                               "4096 bodies)")
+    print("\n" + md)
+    (results_dir / "table2.md").write_text(md)
+    res.to_csv(results_dir / "table2.csv")
+    checks = check_table2(res)
+    for c in checks:
+        print(f"[{'PASS' if c.ok else 'FAIL'}] {c.name} -- {c.detail}")
+    assert all(c.ok for c in checks)

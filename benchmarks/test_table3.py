@@ -1,0 +1,18 @@
+"""Bench: Table 3 -- replicated shared scalars (paper section 5.1)."""
+
+from repro.experiments.paper_data import PAPER_TABLES
+from repro.experiments.shapes import check_replicate
+
+
+def test_table3(benchmark, get_table, results_dir):
+    res = benchmark.pedantic(lambda: get_table("table3"),
+                             rounds=1, iterations=1)
+    md = res.to_markdown(paper=PAPER_TABLES["table3"],
+                         title="Table 3: + replicated scalars")
+    print("\n" + md)
+    (results_dir / "table3.md").write_text(md)
+    res.to_csv(results_dir / "table3.csv")
+    checks = check_replicate(get_table("table2"), res)
+    for c in checks:
+        print(f"[{'PASS' if c.ok else 'FAIL'}] {c.name} -- {c.detail}")
+    assert all(c.ok for c in checks)

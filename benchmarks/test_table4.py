@@ -1,0 +1,29 @@
+"""Bench: Table 4 -- body redistribution (paper section 5.2).
+
+Also verifies the paper's "~2% of bodies migrate per time-step" claim at
+the measured steps.
+"""
+
+from repro.experiments.paper_data import PAPER_TABLES
+from repro.experiments.shapes import check_redistribute
+
+
+def test_table4(benchmark, get_table, results_dir):
+    res = benchmark.pedantic(lambda: get_table("table4"),
+                             rounds=1, iterations=1)
+    md = res.to_markdown(paper=PAPER_TABLES["table4"],
+                         title="Table 4: + body redistribution")
+    print("\n" + md)
+    (results_dir / "table4.md").write_text(md)
+    res.to_csv(results_dir / "table4.csv")
+    checks = check_redistribute(get_table("table3"), res)
+    for c in checks:
+        print(f"[{'PASS' if c.ok else 'FAIL'}] {c.name} -- {c.detail}")
+    # migration fraction after warm-up (paper: ~2%)
+    for p, extras in res.extras.items():
+        fr = extras["migration_fractions"]
+        if len(fr) >= 2 and p > 1:
+            print(f"  migration fraction at {p} threads: "
+                  f"{100 * fr[-1]:.2f}% (paper ~2%)")
+            assert fr[-1] < 0.25
+    assert all(c.ok for c in checks)

@@ -1,0 +1,18 @@
+"""Bench: Table 5 -- separate-local-tree caching (paper section 5.3.1)."""
+
+from repro.experiments.paper_data import PAPER_TABLES
+from repro.experiments.shapes import check_cache
+
+
+def test_table5(benchmark, get_table, results_dir):
+    res = benchmark.pedantic(lambda: get_table("table5"),
+                             rounds=1, iterations=1)
+    md = res.to_markdown(paper=PAPER_TABLES["table5"],
+                         title="Table 5: + cell caching (separate tree)")
+    print("\n" + md)
+    (results_dir / "table5.md").write_text(md)
+    res.to_csv(results_dir / "table5.csv")
+    checks = check_cache(get_table("table4"), res)
+    for c in checks:
+        print(f"[{'PASS' if c.ok else 'FAIL'}] {c.name} -- {c.detail}")
+    assert all(c.ok for c in checks)

@@ -1,0 +1,18 @@
+"""Bench: Table 6 -- local tree build + merge (paper section 5.4)."""
+
+from repro.experiments.paper_data import PAPER_TABLES
+from repro.experiments.shapes import check_localbuild
+
+
+def test_table6(benchmark, get_table, results_dir):
+    res = benchmark.pedantic(lambda: get_table("table6"),
+                             rounds=1, iterations=1)
+    md = res.to_markdown(paper=PAPER_TABLES["table6"],
+                         title="Table 6: + local build & merge")
+    print("\n" + md)
+    (results_dir / "table6.md").write_text(md)
+    res.to_csv(results_dir / "table6.csv")
+    checks = check_localbuild(get_table("table5"), res)
+    for c in checks:
+        print(f"[{'PASS' if c.ok else 'FAIL'}] {c.name} -- {c.detail}")
+    assert all(c.ok for c in checks)

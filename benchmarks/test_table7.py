@@ -1,0 +1,19 @@
+"""Bench: Table 7 -- non-blocking + aggregation (paper section 5.5)."""
+
+from repro.experiments.paper_data import PAPER_TABLES
+from repro.experiments.shapes import check_async
+
+
+def test_table7(benchmark, get_table, results_dir):
+    res = benchmark.pedantic(lambda: get_table("table7"),
+                             rounds=1, iterations=1)
+    md = res.to_markdown(paper=PAPER_TABLES["table7"],
+                         title="Table 7: + non-blocking & aggregation "
+                               "(n1=n2=n3=4)")
+    print("\n" + md)
+    (results_dir / "table7.md").write_text(md)
+    res.to_csv(results_dir / "table7.csv")
+    checks = check_async(get_table("table6"), res)
+    for c in checks:
+        print(f"[{'PASS' if c.ok else 'FAIL'}] {c.name} -- {c.detail}")
+    assert all(c.ok for c in checks)

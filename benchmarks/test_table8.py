@@ -1,0 +1,23 @@
+"""Bench: Table 8 -- subspace build, 1 process/node (paper section 6.2).
+
+Includes the headline cumulative-improvement check (paper: 1644x at 112
+threads over the baseline, 272x at 2)."""
+
+from repro.experiments.paper_data import PAPER_TABLES
+from repro.experiments.shapes import check_cumulative, check_subspace
+
+
+def test_table8(benchmark, get_table, results_dir):
+    res = benchmark.pedantic(lambda: get_table("table8"),
+                             rounds=1, iterations=1)
+    md = res.to_markdown(paper=PAPER_TABLES["table8"],
+                         title="Table 8: subspace build, strong scaling, "
+                               "1 process/node")
+    print("\n" + md)
+    (results_dir / "table8.md").write_text(md)
+    res.to_csv(results_dir / "table8.csv")
+    checks = check_subspace(get_table("table7"), res)
+    checks += check_cumulative(get_table("table2"), res)
+    for c in checks:
+        print(f"[{'PASS' if c.ok else 'FAIL'}] {c.name} -- {c.detail}")
+    assert all(c.ok for c in checks)

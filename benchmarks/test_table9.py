@@ -1,0 +1,19 @@
+"""Bench: Table 9 -- subspace build, 1 thread/node, pthread mode."""
+
+from repro.experiments.paper_data import PAPER_TABLES
+from repro.experiments.shapes import check_table9_vs_table8
+
+
+def test_table9(benchmark, get_table, results_dir):
+    res = benchmark.pedantic(lambda: get_table("table9"),
+                             rounds=1, iterations=1)
+    md = res.to_markdown(paper=PAPER_TABLES["table9"],
+                         title="Table 9: subspace build, strong scaling, "
+                               "1 thread/node (pthreads)")
+    print("\n" + md)
+    (results_dir / "table9.md").write_text(md)
+    res.to_csv(results_dir / "table9.csv")
+    checks = check_table9_vs_table8(get_table("table8"), res)
+    for c in checks:
+        print(f"[{'PASS' if c.ok else 'FAIL'}] {c.name} -- {c.detail}")
+    assert all(c.ok for c in checks)

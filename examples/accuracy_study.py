@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Barnes-Hut accuracy versus cost: the theta trade-off.
+
+The paper fixes theta = 1.0 (the SPLASH-2 default) and studies
+communication; this example verifies the physics side of the substrate:
+force errors against direct O(n^2) summation, interaction counts, and
+energy conservation over time, for a sweep of opening parameters.
+
+Run:  python examples/accuracy_study.py
+"""
+
+import numpy as np
+
+from repro import BHConfig, run_variant
+from repro.nbody import (
+    compute_root,
+    direct_acc,
+    energy_report,
+    plummer,
+)
+from repro.octree import build_tree, compute_cofm, gravity_traversal
+
+N = 2048
+EPS = 0.05
+
+
+def force_accuracy() -> None:
+    bodies = plummer(N, seed=77)
+    box = compute_root(bodies.pos)
+    root = build_tree(bodies.pos, box)
+    compute_cofm(root, bodies.pos, bodies.mass, bodies.cost)
+    ref = direct_acc(bodies.pos, bodies.mass, EPS)
+    ref_mag = np.linalg.norm(ref, axis=1) + 1e-12
+
+    print(f"force accuracy vs direct summation ({N} bodies)")
+    print(f"{'theta':>6s} {'median err':>11s} {'p99 err':>9s} "
+          f"{'interactions/body':>18s} {'vs direct':>10s}")
+    for theta in (0.2, 0.4, 0.6, 0.8, 1.0, 1.2):
+        acc, work = gravity_traversal(
+            root, np.arange(N), bodies.pos, bodies.mass, theta, EPS)
+        err = np.linalg.norm(acc - ref, axis=1) / ref_mag
+        print(f"{theta:>6.1f} {np.median(err):>11.2e} "
+              f"{np.percentile(err, 99):>9.2e} "
+              f"{work.mean():>18.1f} {work.mean() / (N - 1):>10.1%}")
+
+
+def energy_conservation() -> None:
+    print("\nenergy conservation over 20 steps (subspace variant, "
+          "8 threads)")
+    print(f"{'theta':>6s} {'|dE/E|':>10s}")
+    for theta in (0.5, 1.0):
+        cfg = BHConfig(nbodies=1024, theta=theta, nsteps=20,
+                       warmup_steps=1, seed=3)
+        e0 = energy_report(plummer(1024, seed=3), cfg.eps)
+        res = run_variant("subspace", cfg, 8)
+        e1 = energy_report(res.bodies, cfg.eps)
+        drift = abs(e1.total - e0.total) / abs(e0.total)
+        print(f"{theta:>6.1f} {drift:>10.2e}")
+    print("\nSPLASH-2 (and the paper) run theta = 1.0: ~1-2% force error "
+          "buys a ~100x interaction reduction at this N.")
+
+
+if __name__ == "__main__":
+    force_accuracy()
+    energy_conservation()

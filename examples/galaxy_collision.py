@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Two colliding Plummer spheres -- the dynamic, irregular workload the
+paper's introduction motivates.
+
+A head-on collision keeps the spatial distribution (and therefore the
+octree, the costzones and the body-to-thread mapping) changing every step:
+exactly the "dynamic, data-dependent communication pattern" the paper
+argues PGAS languages must handle.  This example tracks how much the
+system re-partitions and migrates as the clusters pass through each other,
+and prints an ASCII rendering of the collision.
+
+Run:  python examples/galaxy_collision.py
+"""
+
+import numpy as np
+
+from repro import BHConfig
+from repro.core.app import BarnesHutSimulation
+from repro.nbody import energy_report
+
+
+def ascii_density(pos: np.ndarray, width: int = 64, height: int = 20,
+                  extent: float = 3.0) -> str:
+    """Projected (x, y) density map in ASCII."""
+    grid = np.zeros((height, width), dtype=np.int64)
+    xs = ((pos[:, 0] + extent) / (2 * extent) * (width - 1)).astype(int)
+    ys = ((pos[:, 1] + extent) / (2 * extent) * (height - 1)).astype(int)
+    ok = (xs >= 0) & (xs < width) & (ys >= 0) & (ys < height)
+    np.add.at(grid, (ys[ok], xs[ok]), 1)
+    shades = " .:-=+*#%@"
+    mx = grid.max() or 1
+    rows = []
+    for r in grid[::-1]:
+        rows.append("".join(
+            shades[min(int(v / mx * (len(shades) - 1) * 2),
+                       len(shades) - 1)] for v in r))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    cfg = BHConfig(
+        nbodies=3000,
+        distribution="collision",
+        nsteps=12,
+        warmup_steps=2,
+        dt=0.025,  # SPLASH-2 step; keeps energy drift ~1% here
+        seed=9,
+    )
+    sim = BarnesHutSimulation(cfg, nthreads=16, variant="subspace")
+    bodies = sim.bodies
+    e0 = energy_report(bodies, cfg.eps)
+
+    print("head-on collision of two Plummer spheres, 16 simulated threads")
+    print(ascii_density(bodies.pos))
+    sep_trace = []
+    for step in range(cfg.nsteps):
+        sim.variant.step(step)
+        left = bodies.pos[: cfg.nbodies // 2, 0].mean()
+        right = bodies.pos[cfg.nbodies // 2:, 0].mean()
+        sep_trace.append(right - left)
+        if step in (cfg.nsteps // 2, cfg.nsteps - 1):
+            print(f"\nafter step {step + 1} "
+                  f"(cluster separation {right - left:+.2f}):")
+            print(ascii_density(bodies.pos))
+
+    e1 = energy_report(bodies, cfg.eps)
+    mig = sim.variant.migration_fractions
+    print("\ncluster separation per step:",
+          " ".join(f"{s:+.2f}" for s in sep_trace))
+    print("bodies migrating between threads per step:",
+          " ".join(f"{100 * f:.0f}%" for f in mig))
+    print(f"energy drift over {cfg.nsteps} steps: "
+          f"{abs(e1.total - e0.total) / abs(e0.total):.2%}")
+    print("\nThe migration trace shows the load balancer chasing the "
+          "collision -- the dynamic behaviour static distributions "
+          "cannot handle (paper, Table 1 and section 5.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""The paper's optimization ladder, one level at a time.
+
+Runs every cumulative optimization level (sections 4, 5.1-5.5, 6 of the
+paper) on the same workload and 64 simulated threads, printing the
+per-phase simulated times and the improvement factor of each level -- a
+miniature of the paper's Tables 2-8 / Figure 5.
+
+Run:  python examples/optimization_tour.py
+"""
+
+from repro import BHConfig, OPT_LADDER, VARIANTS, run_variant
+from repro.core.phases import ALL_PHASES, PHASE_LABELS
+from repro.core.variants.registry import LADDER_SECTIONS
+
+NTHREADS = 64
+
+
+def main() -> None:
+    cfg = BHConfig(nbodies=4096, nsteps=3, warmup_steps=1, seed=123)
+    print(f"{cfg.nbodies} bodies, {NTHREADS} simulated UPC threads, "
+          "simulated seconds for the measured steps\n")
+
+    header = (f"{'variant':<13s}{'§':>5s}{'total':>12s}{'vs prev':>9s}"
+              f"{'vs base':>9s}  dominant phase")
+    print(header)
+    print("-" * len(header))
+
+    base = prev = None
+    for name in OPT_LADDER:
+        res = run_variant(name, cfg, NTHREADS)
+        total = res.total_time
+        base = base or total
+        vs_prev = f"x{prev / total:.2f}" if prev else "-"
+        vs_base = f"x{base / total:.0f}"
+        dom = max(ALL_PHASES, key=lambda p: res.phase_times[p])
+        frac = res.phase_times.percent(dom)
+        print(f"{name:<13s}{LADDER_SECTIONS[name]:>5s}{total:>12.5f}"
+              f"{vs_prev:>9s}{vs_base:>9s}  "
+              f"{PHASE_LABELS[dom]} ({frac:.0f}%)")
+        prev = total
+
+    print("\nPaper (2M bodies, 112 nodes): baseline 3244s -> subspace "
+          "2.0s, a 1644x cumulative improvement.")
+    print("Scaled reproduction keeps the ladder's ordering and the "
+          "per-level mechanisms; see EXPERIMENTS.md for the shape "
+          "comparison.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Weak- and strong-scaling study of the fully optimized code.
+
+Reproduces the section-6 scaling campaign in miniature: weak scaling at a
+fixed number of bodies per thread (paper figures 7/10/11), the vector-
+reduction ablation, and the strong-scaling speedup curve with its
+inflection where per-thread work runs out (paper figure 13).
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro import BHConfig, run_variant
+from repro.upc import MachineConfig, paper_section6_machine
+
+
+def weak_scaling() -> None:
+    bodies_per_thread = 96
+    print(f"weak scaling, {bodies_per_thread} bodies/thread, "
+          "16 pthreads/node (simulated seconds)")
+    print(f"{'threads':>8s} {'treebuild':>12s} {'force':>12s} "
+          f"{'total':>12s} {'reductions':>11s}")
+    for vector in (False, True):
+        label = "with" if vector else "WITHOUT"
+        print(f"-- subspace build {label} vector reduction --")
+        for p in (16, 32, 64, 128):
+            cfg = BHConfig(nbodies=bodies_per_thread * p, nsteps=2,
+                           warmup_steps=1, vector_reduction=vector)
+            res = run_variant("subspace", cfg, p,
+                              machine=paper_section6_machine())
+            reductions = (res.counter("vector_reductions")
+                          + res.counter("scalar_reductions"))
+            print(f"{p:>8d} {res.phase_times['treebuild']:>12.6f} "
+                  f"{res.phase_times['force']:>12.6f} "
+                  f"{res.total_time:>12.6f} {reductions:>11.0f}")
+    print("Paper: one scalar reduction per subspace is prohibitive at "
+          "scale; one vector reduction per level scales smoothly "
+          "(figures 10/11; 10400 subspaces -> 9 reductions).\n")
+
+
+def strong_scaling() -> None:
+    cfg = BHConfig(nbodies=8192, nsteps=2, warmup_steps=1)
+    print(f"strong scaling, {cfg.nbodies} bodies (figure 13)")
+    print(f"{'threads':>8s} {'bodies/thr':>11s} {'total':>12s} "
+          f"{'speedup':>9s} {'efficiency':>11s}")
+    base = None
+    for p in (1, 2, 4, 8, 16, 32, 64, 128, 256):
+        machine = (MachineConfig() if p <= 112
+                   else paper_section6_machine())
+        res = run_variant("subspace", cfg, p, machine=machine)
+        base = base or res.total_time
+        speedup = base / res.total_time
+        print(f"{p:>8d} {cfg.nbodies // p:>11d} {res.total_time:>12.6f} "
+              f"{speedup:>9.1f} {speedup / p:>11.2f}")
+    print("Paper: the inflection lands where threads drop to ~4k bodies "
+          "each; at this scaled N it appears at the same bodies-per-"
+          "thread point, i.e. a smaller thread count.")
+
+
+if __name__ == "__main__":
+    weak_scaling()
+    strong_scaling()

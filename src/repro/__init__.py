@@ -1,0 +1,45 @@
+"""repro -- reproduction of "Optimizing the Barnes-Hut Algorithm in UPC"
+(Zhang, Behzad, Snir; 2011).
+
+Layers (see DESIGN.md):
+
+* :mod:`repro.upc`    -- simulated PGAS/UPC runtime (virtual clocks, cost model)
+* :mod:`repro.nbody`  -- physics substrate (Plummer, kernels, integrator)
+* :mod:`repro.octree` -- tree substrate (build, c-of-m, traversal, costzones)
+* :mod:`repro.core`   -- the paper's optimization ladder (L0 baseline .. L6 subspace)
+* :mod:`repro.experiments` -- runners for every table and figure in the paper
+
+Quickstart::
+
+    from repro import BHConfig, run_variant
+    res = run_variant("subspace", BHConfig(nbodies=4096), nthreads=16)
+    print(res.total_time, res.phase_times.as_rows())
+"""
+
+from .core import (
+    BHConfig,
+    BarnesHutSimulation,
+    OPT_LADDER,
+    PhaseTimes,
+    RunResult,
+    VARIANTS,
+    get_variant,
+    run_variant,
+)
+from .upc import MachineConfig, UpcRuntime
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BHConfig",
+    "BarnesHutSimulation",
+    "MachineConfig",
+    "OPT_LADDER",
+    "PhaseTimes",
+    "RunResult",
+    "UpcRuntime",
+    "VARIANTS",
+    "get_variant",
+    "run_variant",
+    "__version__",
+]

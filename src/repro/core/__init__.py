@@ -1,0 +1,44 @@
+"""The paper's contribution: the UPC Barnes-Hut optimization ladder.
+
+Public entry points:
+
+* :class:`BHConfig` -- run configuration,
+* :func:`run_variant` / :class:`BarnesHutSimulation` -- drivers,
+* :data:`OPT_LADDER` / :data:`VARIANTS` -- the optimization levels.
+"""
+
+from .app import BarnesHutSimulation, RunResult, make_bodies, run_variant
+from .config import BHConfig
+from .phases import (
+    ADVANCE,
+    ALL_PHASES,
+    COFM,
+    FORCE,
+    PARTITION,
+    PHASE_LABELS,
+    REDISTRIBUTION,
+    TREEBUILD,
+    PhaseTimes,
+)
+from .variants import LADDER_SECTIONS, OPT_LADDER, VARIANTS, get_variant
+
+__all__ = [
+    "ADVANCE",
+    "ALL_PHASES",
+    "BHConfig",
+    "BarnesHutSimulation",
+    "COFM",
+    "FORCE",
+    "LADDER_SECTIONS",
+    "OPT_LADDER",
+    "PARTITION",
+    "PHASE_LABELS",
+    "PhaseTimes",
+    "REDISTRIBUTION",
+    "RunResult",
+    "TREEBUILD",
+    "VARIANTS",
+    "get_variant",
+    "make_bodies",
+    "run_variant",
+]

@@ -1,0 +1,102 @@
+"""The Barnes-Hut application driver: configuration in, results out."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Type, Union
+
+from ..nbody.bodies import BodySoA
+from ..nbody.distributions import two_plummer_collision, uniform_sphere
+from ..nbody.plummer import plummer
+from ..upc.params import MachineConfig
+from ..upc.runtime import UpcRuntime
+from ..upc.stats import StatsLog
+from .config import BHConfig
+from .phases import PhaseTimes
+from .variants.base import VariantBase
+from .variants.registry import get_variant
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated run."""
+
+    config: BHConfig
+    variant: str
+    nthreads: int
+    machine: MachineConfig
+    phase_times: PhaseTimes
+    log: StatsLog
+    bodies: BodySoA
+    #: per-step migration fractions, merge imbalance data, etc.
+    variant_stats: dict = field(default_factory=dict)
+
+    @property
+    def total_time(self) -> float:
+        return self.phase_times.total
+
+    def counter(self, key: str, phase: Optional[str] = None) -> float:
+        return self.log.counter_total(key, phase)
+
+
+def make_bodies(cfg: BHConfig) -> BodySoA:
+    """Initial conditions per the configured distribution."""
+    if cfg.distribution == "plummer":
+        return plummer(cfg.nbodies, seed=cfg.seed)
+    if cfg.distribution == "uniform":
+        return uniform_sphere(cfg.nbodies, seed=cfg.seed)
+    if cfg.distribution == "collision":
+        return two_plummer_collision(cfg.nbodies, seed=cfg.seed)
+    raise ValueError(cfg.distribution)  # pragma: no cover - config validates
+
+
+class BarnesHutSimulation:
+    """Drives one variant over the configured time-steps."""
+
+    def __init__(self, cfg: BHConfig, nthreads: int,
+                 machine: Optional[MachineConfig] = None,
+                 variant: Union[str, Type[VariantBase]] = "subspace",
+                 bodies: Optional[BodySoA] = None):
+        self.cfg = cfg
+        self.machine = machine if machine is not None else MachineConfig()
+        self.rt = UpcRuntime(nthreads, self.machine)
+        self.bodies = bodies.copy() if bodies is not None else make_bodies(cfg)
+        vcls = get_variant(variant) if isinstance(variant, str) else variant
+        self.variant = vcls(self.rt, self.bodies, cfg)
+
+    def run(self) -> RunResult:
+        """Run all steps; phase times cover only the measured steps."""
+        cfg = self.cfg
+        for step in range(cfg.nsteps):
+            self.variant.step(step)
+        measured = list(range(cfg.warmup_steps, cfg.nsteps))
+        pt = PhaseTimes.from_log(self.rt.log, measured)
+        stats = {
+            "migration_fractions": list(self.variant.migration_fractions),
+            "treebuild_subphases": list(self.variant.treebuild_subphases),
+        }
+        eng = getattr(self.variant, "async_engine", None)
+        if eng is not None:
+            stats["gather_source_fractions"] = eng.source_fractions()
+        if hasattr(self.variant, "subspace_counts"):
+            stats["subspace_counts"] = list(self.variant.subspace_counts)
+            stats["level_counts"] = list(self.variant.level_counts)
+        return RunResult(
+            config=cfg,
+            variant=self.variant.name,
+            nthreads=self.rt.nthreads,
+            machine=self.machine,
+            phase_times=pt,
+            log=self.rt.log,
+            bodies=self.bodies,
+            variant_stats=stats,
+        )
+
+
+def run_variant(variant: Union[str, Type[VariantBase]], cfg: BHConfig,
+                nthreads: int, machine: Optional[MachineConfig] = None,
+                bodies: Optional[BodySoA] = None) -> RunResult:
+    """Convenience one-call runner (the main public entry point)."""
+    sim = BarnesHutSimulation(cfg, nthreads, machine=machine,
+                              variant=variant, bodies=bodies)
+    return sim.run()

@@ -1,0 +1,76 @@
+"""Simulation configuration for the Barnes-Hut application."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..nbody.constants import (
+    DEFAULT_DT,
+    DEFAULT_EPS,
+    DEFAULT_NSTEPS,
+    DEFAULT_THETA,
+    DEFAULT_WARMUP_STEPS,
+)
+
+
+@dataclass(frozen=True)
+class BHConfig:
+    """Everything one run of the application depends on.
+
+    Defaults follow the paper's section 4.1: SPLASH-2 parameters
+    (theta = 1.0, dt = 0.025, Plummer initial conditions), 4 time-steps with
+    the last 2 measured.  The body count is scaled down from the paper's
+    2M (see DESIGN.md section 2).
+    """
+
+    nbodies: int = 4096
+    theta: float = DEFAULT_THETA
+    eps: float = DEFAULT_EPS
+    dt: float = DEFAULT_DT
+    nsteps: int = DEFAULT_NSTEPS
+    warmup_steps: int = DEFAULT_WARMUP_STEPS
+    seed: int = 123
+    distribution: str = "plummer"  # plummer | uniform | collision
+
+    # -- section 5.5 framework parameters (paper: n1 = n2 = n3 = 4) -------
+    n1: int = 4  #: working body groups processed concurrently
+    n2: int = 4  #: maximum outstanding asynchronous gathers
+    n3: int = 4  #: minimum requested cells before a gather is issued
+
+    # -- section 6 subspace algorithm --------------------------------------
+    alpha: float = 2.0 / 3.0  #: split threshold factor (tau = alpha*Cost/P)
+    vector_reduction: bool = True  #: one vector reduction per level
+
+    # -- section 5.2 redistribution ----------------------------------------
+    buffer_factor: float = 2.0  #: double-buffer capacity / (n/THREADS)
+
+    # -- numerics ------------------------------------------------------------
+    open_self_cells: bool = False  #: stricter-than-SPLASH-2 opening rule
+    initial_rsize: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.nbodies < 1:
+            raise ValueError("nbodies must be positive")
+        if self.theta <= 0:
+            raise ValueError("theta must be positive")
+        if self.eps < 0:
+            raise ValueError("eps must be non-negative")
+        if self.nsteps < 1:
+            raise ValueError("nsteps must be positive")
+        if not (0 <= self.warmup_steps < self.nsteps):
+            raise ValueError("need 0 <= warmup_steps < nsteps")
+        if min(self.n1, self.n2, self.n3) < 1:
+            raise ValueError("n1, n2, n3 must be >= 1")
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if self.buffer_factor < 1.0:
+            raise ValueError("buffer_factor must be >= 1")
+        if self.distribution not in ("plummer", "uniform", "collision"):
+            raise ValueError(f"unknown distribution {self.distribution!r}")
+
+    @property
+    def measured_steps(self) -> int:
+        return self.nsteps - self.warmup_steps
+
+    def with_(self, **kw) -> "BHConfig":
+        return replace(self, **kw)

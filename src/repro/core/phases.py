@@ -1,0 +1,66 @@
+"""Phase names and phase-time aggregation.
+
+Phase names match the rows of the paper's tables; every variant reports the
+same set so tables across optimization levels line up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..upc.stats import StatsLog
+
+TREEBUILD = "treebuild"
+COFM = "cofm"
+PARTITION = "partition"
+REDISTRIBUTION = "redistribution"
+FORCE = "force"
+ADVANCE = "advance"
+
+#: canonical phase order (the paper's table row order)
+ALL_PHASES = [TREEBUILD, COFM, PARTITION, REDISTRIBUTION, FORCE, ADVANCE]
+
+#: human-readable labels, as printed in the paper's tables
+PHASE_LABELS = {
+    TREEBUILD: "Tree-building",
+    COFM: "C-of-m Comp.",
+    PARTITION: "Partitioning",
+    REDISTRIBUTION: "Redistribution",
+    FORCE: "Force Comp.",
+    ADVANCE: "Body-adv.",
+}
+
+
+@dataclass
+class PhaseTimes:
+    """Per-phase simulated seconds, summed over the measured steps."""
+
+    times: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_log(cls, log: StatsLog, measured_steps: List[int]) -> "PhaseTimes":
+        steps = set(measured_steps)
+        times = {p: 0.0 for p in ALL_PHASES}
+        for rec in log:
+            if rec.step in steps and rec.name in times:
+                times[rec.name] += rec.duration
+        return cls(times)
+
+    @property
+    def total(self) -> float:
+        return sum(self.times.values())
+
+    def __getitem__(self, phase: str) -> float:
+        return self.times.get(phase, 0.0)
+
+    def percent(self, phase: str) -> float:
+        t = self.total
+        return 100.0 * self[phase] / t if t > 0 else 0.0
+
+    def as_rows(self, phases: "List[str] | None" = None):
+        """(label, seconds, percent) rows in paper order."""
+        phases = phases if phases is not None else ALL_PHASES
+        return [
+            (PHASE_LABELS[p], self[p], self.percent(p)) for p in phases
+        ]

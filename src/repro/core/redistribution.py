@@ -1,0 +1,88 @@
+"""Double-buffered body redistribution (paper section 5.2).
+
+Each thread keeps two body buffers in its shared space.  After
+partitioning, a thread walks its assignment; bodies whose storage affinity
+is elsewhere are fetched with one indexed gather per source thread
+(``upc_memget_ilist``) and appended to the current buffer; the stale slots
+in other threads' buffers become holes.  When the current buffer cannot hold
+the appends, the thread compacts all live bodies into the alternate buffer
+(one local memcpy) and swaps -- the paper measures this to be rare because
+only ~2% of bodies migrate per step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..upc.runtime import UpcRuntime
+
+
+@dataclass
+class RedistributionState:
+    """Buffer occupancy bookkeeping for every thread."""
+
+    capacity: np.ndarray  # (P,) slots per buffer
+    fill: np.ndarray  # (P,) used slots in the current buffer (incl. holes)
+    live: np.ndarray  # (P,) live bodies
+    copies: int = 0  # buffer compactions performed
+    migrated_per_step: List[int] = field(default_factory=list)
+
+    @classmethod
+    def create(cls, nthreads: int, nbodies: int,
+               buffer_factor: float) -> "RedistributionState":
+        per = int(np.ceil(nbodies / nthreads))
+        cap = np.full(nthreads, max(1, int(per * buffer_factor)),
+                      dtype=np.int64)
+        return cls(capacity=cap, fill=np.zeros(nthreads, dtype=np.int64),
+                   live=np.zeros(nthreads, dtype=np.int64))
+
+    def seed(self, store: np.ndarray) -> None:
+        counts = np.bincount(store, minlength=len(self.capacity))
+        self.fill[:] = counts
+        self.live[:] = counts
+
+
+def redistribute(rt: UpcRuntime, state: RedistributionState,
+                 assign: np.ndarray, store: np.ndarray) -> float:
+    """Migrate bodies so ``store`` matches ``assign``; returns migration
+    fraction.  Charges gathers, pointer swizzles and (rare) buffer copies;
+    mutates ``store`` in place and updates buffer occupancy."""
+    P = rt.nthreads
+    n = len(assign)
+    body_nbytes = rt.machine.body_nbytes
+    moved_total = 0
+    for t in range(P):
+        incoming = np.nonzero((assign == t) & (store != t))[0]
+        moved_total += len(incoming)
+        if len(incoming) == 0:
+            # still walks its assignment checking affinities
+            nassigned = int((assign == t).sum())
+            rt.charge_compute(t, nassigned * rt.machine.local_word_cost)
+            continue
+        nassigned = int((assign == t).sum())
+        rt.charge_compute(t, nassigned * rt.machine.local_word_cost)
+        sources = store[incoming]
+        counts = np.bincount(sources, minlength=P)
+        for src in np.nonzero(counts)[0]:
+            rt.memget_ilist(t, int(src), int(counts[src]), body_nbytes,
+                            key="redistribution_gathers")
+        # pointer swizzle: replace remote pointers with local ones
+        rt.charge_compute(t, len(incoming) * rt.machine.local_word_cost)
+        rt.count(t, "bodies_migrated_in", len(incoming))
+        if state.fill[t] + len(incoming) > state.capacity[t]:
+            # compact live bodies into the alternate buffer and swap
+            live = int((assign == t).sum())
+            rt.memget(t, t, live * body_nbytes, key="buffer_copy")
+            state.copies += 1
+            rt.count(t, "buffer_copies")
+            state.fill[t] = live
+        else:
+            state.fill[t] += len(incoming)
+    # holes appear where bodies left; live counts follow the assignment
+    state.live[:] = np.bincount(assign, minlength=P)
+    store[:] = assign
+    state.migrated_per_step.append(moved_total)
+    return moved_total / n if n else 0.0

@@ -1,0 +1,358 @@
+"""Cost-based subspace tree building (paper section 6).
+
+The algorithm (a scalable derivative of Shan & Singh's):
+
+1. **Split loop** -- all threads walk the implicit octree level by level.
+   At each level every thread sums the costs of *its* bodies per subspace,
+   then one collective reduction produces global subspace costs (ONE vector
+   reduction per level when ``vector_reduction`` is on -- the paper's key
+   change; one scalar reduction per subspace otherwise, which Figure 10
+   shows becoming prohibitive).  Subspaces with global cost above
+   ``tau = alpha * Cost / THREADS`` are split into 8 children and their
+   bodies re-bucketed.
+2. **Leaf allocation** -- leaves, in tree (Morton) order, are assigned to
+   threads in contiguous runs of roughly equal cost; every thread computes
+   the identical allocation locally.  Because no leaf exceeds tau, no
+   thread receives more than (1 + alpha) * Cost / THREADS.
+3. **Body exchange** -- one all-to-all ships every body to its owner.
+4. **Subforest build + hook** -- each thread builds the subtrees of its
+   leaves locally (sequential, lock-free), computes their centers of mass,
+   and hooks each subtree into thread 0's top tree with a single remote
+   pointer write; the writes touch disjoint slots, so no locks are needed.
+5. **Top c-of-m** -- thread 0 finishes the O(#subspaces) top cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..nbody.bbox import RootBox
+from ..octree.build import insert
+from ..octree.cell import Cell, Leaf
+from ..octree.cofm import compute_cofm
+from ..upc.collectives import allreduce_scalar, allreduce_vector, alltoallv
+from ..upc.runtime import UpcRuntime
+
+#: local work per body examined in the split loop (cost scan / re-bucket)
+SCAN_COST = 10e-9
+#: local work per subspace entry handled per level
+SUBSPACE_COST = 50e-9
+#: guard against pathological splitting (coincident heavy bodies)
+MAX_SPLIT_LEVELS = 40
+
+
+@dataclass
+class SubspaceTree:
+    """Implicit octree of subspaces shared (structurally) by all threads."""
+
+    centers: np.ndarray  # (N, 3)
+    sizes: np.ndarray  # (N,)
+    parent: np.ndarray  # (N,)
+    oct: np.ndarray  # (N,) child slot in parent
+    child_base: np.ndarray  # (N,) index of first child or -1
+    global_cost: np.ndarray  # (N,)
+    global_count: np.ndarray  # (N,)
+    levels: List[np.ndarray] = field(default_factory=list)
+    leaves: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.sizes)
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    def is_leaf(self, node: int) -> bool:
+        return self.child_base[node] < 0
+
+    def leaves_in_order(self) -> np.ndarray:
+        """Leaf ids in tree (Morton) order."""
+        order: List[int] = []
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            base = self.child_base[node]
+            if base < 0:
+                order.append(node)
+            else:
+                for o in range(7, -1, -1):
+                    stack.append(int(base) + o)
+        return np.asarray(order, dtype=np.int64)
+
+
+def split_subspaces(rt: UpcRuntime, pos: np.ndarray, cost: np.ndarray,
+                    store: np.ndarray, box: RootBox, alpha: float,
+                    vector_reduction: bool) -> "tuple[SubspaceTree, np.ndarray]":
+    """Run the split loop; returns the subspace tree and body->leaf map."""
+    P = rt.nthreads
+    n = len(cost)
+    centers = [np.asarray(box.center, dtype=np.float64)]
+    sizes = [float(box.rsize)]
+    parent = [-1]
+    octs = [0]
+    child_base = [-1]
+    g_cost = [0.0]
+    g_count = [0]
+    body_ss = np.zeros(n, dtype=np.int64)
+    level = np.array([0], dtype=np.int64)
+    levels: List[np.ndarray] = []
+    tau: Optional[float] = None
+
+    per_thread = np.bincount(store, minlength=P).astype(np.float64)
+
+    depth = 0
+    while len(level) and depth < MAX_SPLIT_LEVELS:
+        levels.append(level)
+        depth += 1
+        in_level = np.isin(body_ss, level)
+        # local cost/count accumulation, then one reduction per level
+        lvl_pos = np.searchsorted(level, body_ss[in_level])
+        lcost = np.bincount(lvl_pos, weights=cost[in_level],
+                            minlength=len(level))
+        lcount = np.bincount(lvl_pos, minlength=len(level))
+        for t in range(P):
+            mine = int((store[in_level] == t).sum())
+            rt.charge_compute(t, mine * SCAN_COST
+                              + len(level) * SUBSPACE_COST)
+        if vector_reduction:
+            # costs and counts in one vector reduction for the whole level
+            allreduce_vector(rt, 2 * len(level))
+        else:
+            for _ in range(len(level)):
+                allreduce_scalar(rt)
+        for j, node in enumerate(level):
+            g_cost[node] = float(lcost[j])
+            g_count[node] = int(lcount[j])
+        if tau is None:
+            total = g_cost[0]
+            tau = alpha * total / P
+        fat = [int(nd) for j, nd in enumerate(level)
+               if lcost[j] > tau and lcount[j] > 1]
+        if not fat:
+            break
+        # allocate 8 children per fat node (contiguous, octant order)
+        base_of = np.full(len(centers) + 8 * len(fat), -1, dtype=np.int64)
+        new_level = np.empty(8 * len(fat), dtype=np.int64)
+        for j, f in enumerate(fat):
+            base = len(centers)
+            child_base[f] = base
+            base_of[f] = base
+            cf = centers[f]
+            q = sizes[f] / 4.0
+            for o in range(8):
+                off = np.array([q if (o & 1) else -q,
+                                q if (o & 2) else -q,
+                                q if (o & 4) else -q])
+                centers.append(cf + off)
+                sizes.append(sizes[f] / 2.0)
+                parent.append(f)
+                octs.append(o)
+                child_base.append(-1)
+                g_cost.append(0.0)
+                g_count.append(0)
+            new_level[8 * j: 8 * j + 8] = np.arange(base, base + 8)
+        # re-bucket bodies living in fat subspaces (vectorized octant)
+        fat_arr = np.asarray(fat, dtype=np.int64)
+        sel = np.isin(body_ss, fat_arr)
+        if sel.any():
+            ctr = np.asarray(centers)[body_ss[sel]]
+            p = pos[sel]
+            o = ((p[:, 0] > ctr[:, 0]).astype(np.int64)
+                 | ((p[:, 1] > ctr[:, 1]).astype(np.int64) << 1)
+                 | ((p[:, 2] > ctr[:, 2]).astype(np.int64) << 2))
+            body_ss[sel] = base_of[body_ss[sel]] + o
+            for t in range(P):
+                mine = int((store[sel] == t).sum())
+                rt.charge_compute(t, mine * 4 * SCAN_COST)
+        level = new_level
+
+    tree = SubspaceTree(
+        centers=np.asarray(centers),
+        sizes=np.asarray(sizes),
+        parent=np.asarray(parent, dtype=np.int64),
+        oct=np.asarray(octs, dtype=np.int64),
+        child_base=np.asarray(child_base, dtype=np.int64),
+        global_cost=np.asarray(g_cost),
+        global_count=np.asarray(g_count, dtype=np.int64),
+        levels=levels,
+    )
+    tree.leaves = tree.leaves_in_order()
+    return tree, body_ss
+
+
+def allocate_leaves(rt: UpcRuntime, tree: SubspaceTree) -> np.ndarray:
+    """Greedy contiguous allocation of leaves to threads by cost.
+
+    Every thread computes the identical allocation from the globally known
+    leaf costs (no communication).  Returns ``owner[leaf_rank]``.
+    """
+    P = rt.nthreads
+    leaves = tree.leaves
+    costs = tree.global_cost[leaves]
+    total = float(costs.sum())
+    owner = np.zeros(len(leaves), dtype=np.int32)
+    if total <= 0 or P == 1:
+        for t in range(P):
+            rt.charge_compute(t, len(leaves) * SUBSPACE_COST)
+        return owner
+    target = total / P
+    t = 0
+    acc = 0.0
+    for i, c in enumerate(costs):
+        if acc >= target and t < P - 1:
+            t += 1
+            acc -= target
+        owner[i] = t
+        acc += float(c)
+    for tt in range(P):
+        rt.charge_compute(tt, len(leaves) * SUBSPACE_COST)
+    return owner
+
+
+def exchange_bodies(rt: UpcRuntime, tree: SubspaceTree, body_ss: np.ndarray,
+                    leaf_owner: np.ndarray, assign: np.ndarray,
+                    store: np.ndarray) -> float:
+    """All-to-all body redistribution to leaf owners; returns migration
+    fraction.  Mutates ``assign`` and ``store`` in place."""
+    P = rt.nthreads
+    owner_of_node = np.zeros(tree.n_nodes, dtype=np.int32)
+    owner_of_node[tree.leaves] = leaf_owner
+    new_assign = owner_of_node[body_ss]
+    moved = new_assign != store
+    matrix = np.zeros((P, P), dtype=np.float64)
+    if moved.any():
+        np.add.at(matrix, (store[moved], new_assign[moved]),
+                  float(rt.machine.body_nbytes))
+    alltoallv(rt, matrix, key="body_exchange")
+    frac = float(moved.sum()) / len(body_ss) if len(body_ss) else 0.0
+    assign[:] = new_assign
+    store[:] = new_assign
+    return frac
+
+
+#: local computation per cell during subforest building
+CELL_COMPUTE = 100e-9
+CELL_VISIT_WORDS = 2
+
+
+def build_subforest_and_hook(variant, tree: SubspaceTree,
+                             body_ss: np.ndarray,
+                             leaf_owner: np.ndarray) -> Cell:
+    """Phases 4-5: local subforests, lock-free hooking, top c-of-m.
+
+    Returns the global root cell (thread 0's top tree).
+    """
+    rt: UpcRuntime = variant.rt
+    bodies = variant.bodies
+    P = rt.nthreads
+    m = rt.machine
+
+    # thread 0's top-tree cells, one per internal (split) subspace
+    top: Dict[int, Cell] = {}
+    internal = np.nonzero(tree.child_base >= 0)[0]
+    root_cell = Cell(tree.centers[0].copy(), float(tree.sizes[0]), home=0)
+    top[0] = root_cell
+    for node in internal:
+        if node != 0 and node not in top:
+            top[int(node)] = Cell(tree.centers[node].copy(),
+                                  float(tree.sizes[node]), home=0)
+    rt.charge_compute(0, len(top) * CELL_COMPUTE)
+    for node in internal:
+        base = int(tree.child_base[node])
+        for o in range(8):
+            ch = base + o
+            if tree.child_base[ch] >= 0:
+                top[int(node)].children[o] = top[ch]
+    variant.ncells = len(top)
+
+    # group bodies by leaf
+    order = np.argsort(body_ss, kind="stable")
+    sorted_ss = body_ss[order]
+    leaf_rank = {int(l): r for r, l in enumerate(tree.leaves)}
+
+    lo = 0
+    groups: Dict[int, np.ndarray] = {}
+    while lo < len(sorted_ss):
+        hi = lo
+        node = sorted_ss[lo]
+        while hi < len(sorted_ss) and sorted_ss[hi] == node:
+            hi += 1
+        groups[int(node)] = order[lo:hi]
+        lo = hi
+
+    local_times = np.zeros(P)
+    for t in range(P):
+        start = float(rt.clock[t])
+        my_leaves = tree.leaves[leaf_owner == t]
+        for leaf in my_leaves:
+            leaf = int(leaf)
+            sel = groups.get(leaf)
+            if sel is None or len(sel) == 0:
+                continue
+            if len(sel) == 1 and leaf != 0:
+                node: "Cell | Leaf" = Leaf(int(sel[0]))
+            else:
+                cell = Cell(tree.centers[leaf].copy(),
+                            float(tree.sizes[leaf]), home=t)
+                rt.heap.upc_alloc(t, m.cell_nbytes, cell)
+                counters = {"visits": 0, "allocs": 0}
+
+                def on_visit(c, cnt=counters):
+                    cnt["visits"] += 1
+
+                def on_alloc(c, cnt=counters, t=t):
+                    cnt["allocs"] += 1
+                    rt.heap.upc_alloc(t, m.cell_nbytes, c)
+
+                for b in sel:
+                    insert(cell, int(b), bodies.pos, home=t,
+                           on_visit=on_visit, on_alloc=on_alloc)
+                rt.charge_compute(
+                    t,
+                    counters["visits"] * CELL_VISIT_WORDS
+                    * m.local_word_cost
+                    + (counters["allocs"] + 1) * CELL_COMPUTE,
+                )
+                variant.ncells += counters["allocs"] + 1
+                # local c-of-m for the subtree (no communication)
+                ncells = [0]
+                compute_cofm(cell, bodies.pos, bodies.mass, bodies.cost,
+                             on_cell=lambda c, nc=ncells: nc.__setitem__(
+                                 0, nc[0] + 1))
+                rt.charge_compute(t, ncells[0] * CELL_COMPUTE)
+                node = cell
+            if leaf == 0:
+                # degenerate: the root itself is a leaf subspace
+                root_cell.children = node.children
+                root_cell.home = t
+                continue
+            par = int(tree.parent[leaf])
+            top[par].children[int(tree.oct[leaf])] = node
+            rt.word_access(t, 0, words=1.0, key="subtree_hooks")
+        local_times[t] = float(rt.clock[t]) - start
+
+    # thread 0 finishes the top cells: it gathers the (mass, cofm) of all
+    # hooked subtree roots -- one indexed gather per source thread, using
+    # the same aggregation machinery as the force phase -- then runs a
+    # local bottom-up pass over the O(#subspaces) top cells.
+    per_source: Dict[int, int] = {}
+    nchildren = 0
+    for node, cell in top.items():
+        for ch in cell.children:
+            if ch is None:
+                continue
+            nchildren += 1
+            if isinstance(ch, Cell) and ch.home != 0:
+                per_source[ch.home] = per_source.get(ch.home, 0) + 1
+    for src, cnt in per_source.items():
+        rt.memget_ilist(0, src, cnt, m.cell_nbytes, key="top_cofm_gathers")
+    rt.charge_compute(0, (len(top) + nchildren) * CELL_COMPUTE)
+    compute_cofm(root_cell, bodies.pos, bodies.mass, bodies.cost)
+    variant.treebuild_subphases.append(
+        {"local": local_times, "merge": np.zeros(P)}
+    )
+    return root_cell

@@ -1,0 +1,418 @@
+"""Variant base class + the baseline (L0) implementation.
+
+The baseline is the paper's section 4: a literal SPLASH-2 translation.
+Its defining properties, all of which later optimization levels remove one
+by one, are:
+
+* shared scalars (``rsize``, ``tol``, ``eps``) live on thread 0 and are read
+  remotely by every thread, per insertion / opening test / interaction;
+* bodies stay block-distributed forever (``store`` never changes), so a
+  thread's assigned bodies are mostly remote;
+* the octree is built by concurrent insertion into one global tree under
+  per-cell locks;
+* center-of-mass computation spins on other threads' ``done`` flags;
+* the force traversal dereferences every cell with fine-grained remote
+  reads -- no caching, no aggregation, no overlap.
+
+Subclasses override the phase methods and/or flip the class flags.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...nbody.bbox import RootBox, compute_root
+from ...nbody.bodies import BodySoA
+from ...nbody.integrator import advance_indices, startup_half_kick
+from ...octree.build import insert, new_root
+from ...octree.cell import Cell, Leaf
+from ...octree.costzones import costzones
+from ...octree.traverse import TraversalPolicy, gravity_traversal
+from ...upc.locks import UpcLock
+from ...upc.memory import SharedArray
+from ...upc.runtime import UpcRuntime
+from ..config import BHConfig
+from ..phases import (
+    ADVANCE,
+    COFM,
+    FORCE,
+    PARTITION,
+    REDISTRIBUTION,
+    TREEBUILD,
+)
+
+# -- field-granularity constants (words touched per logical access) --------
+CELL_VISIT_WORDS = 2   #: child slot + geometry read while descending
+CELL_TEST_WORDS = 6    #: cofm (3) + mass + size + type read per opening test
+CELL_OPEN_WORDS = 8    #: the subp[] child pointer array
+BODY_POS_WORDS = 3     #: position read
+BODY_FORCE_WORDS = 6   #: read pos, write back acc
+BODY_ADV_WORDS = 12    #: read pos/vel/acc, write pos/vel
+BODY_LEAF_WORDS = 2    #: packed pos/mass of a leaf body during traversal
+COFM_CHILD_WORDS = 4   #: mass + cofm of a finished child
+ATOMIC_COFM_WORDS = 8  #: read-modify-write of (mass, cofm) at merge time
+
+#: local computation charged per tree-cell bookkeeping operation
+CELL_COMPUTE = 100e-9
+ADVANCE_FLOPS = 60e-9
+
+
+class VariantBase:
+    """One optimization level of the UPC Barnes-Hut application."""
+
+    #: registry name; subclasses override
+    name = "baseline"
+    #: position in the cumulative optimization ladder (paper section order)
+    ladder_level = 0
+    #: section 5.1 -- tol/eps private, rsize copied once per phase
+    replicate_scalars = False
+    #: section 5.2 -- bodies migrate to their assigned thread
+    redistribute_bodies = False
+    #: section 5.3 -- None, "separate" or "merged"
+    cache_mode: Optional[str] = None
+    #: section 5.4 -- local tree build + merge
+    local_tree_build = False
+    #: section 5.5 -- non-blocking + aggregated force traversal
+    async_force = False
+    #: section 6 -- cost-based subspace tree building
+    subspace_build = False
+
+    def __init__(self, rt: UpcRuntime, bodies: BodySoA, cfg: BHConfig):
+        self.rt = rt
+        self.bodies = bodies
+        self.cfg = cfg
+        self.P = rt.nthreads
+        n = len(bodies)
+        bodies.store = SharedArray.block_distributed(self.P, n)
+        bodies.assign = bodies.store.copy()
+        self.box: RootBox = compute_root(bodies.pos, cfg.initial_rsize)
+        self.root: Optional[Cell] = None
+        self.mycelltab: List[List[Cell]] = [[] for _ in range(self.P)]
+        self._locks: Dict[int, UpcLock] = {}
+        #: per-step migration fraction (section 5.2 claim)
+        self.migration_fractions: List[float] = []
+        #: per-step (local, merge) per-thread seconds (figure 8)
+        self.treebuild_subphases: List[dict] = []
+        self.step_index = 0
+        #: cells in the current global tree (set by each build)
+        self.ncells = 1
+
+    # ------------------------------------------------------------------ #
+    # plumbing                                                           #
+    # ------------------------------------------------------------------ #
+    def phase_plan(self) -> List[Tuple[str, Callable[[], None]]]:
+        """(phase name, method) pairs executed per step, in order."""
+        plan: List[Tuple[str, Callable[[], None]]] = [
+            (TREEBUILD, self.phase_treebuild),
+            (COFM, self.phase_cofm),
+            (PARTITION, self.phase_partition),
+        ]
+        if self.redistribute_bodies:
+            plan.append((REDISTRIBUTION, self.phase_redistribution))
+        plan.append((FORCE, self.phase_force))
+        plan.append((ADVANCE, self.phase_advance))
+        return plan
+
+    def step(self, step_index: int) -> None:
+        """Execute one full time-step."""
+        self.step_index = step_index
+        self.rt.step = step_index
+        for phase_name, method in self.phase_plan():
+            with self.rt.phase(phase_name):
+                method()
+
+    def lock_of(self, cell: Cell) -> UpcLock:
+        lk = self._locks.get(id(cell))
+        if lk is None:
+            lk = UpcLock(home=cell.home)
+            self._locks[id(cell)] = lk
+        return lk
+
+    def assigned(self, tid: int) -> np.ndarray:
+        return np.nonzero(self.bodies.assign == tid)[0]
+
+    # -- body access helpers -------------------------------------------------
+    def body_ptrs_local(self) -> bool:
+        """True when each thread's bodies live in its own shared memory and
+        pointers have been cast local (sections 5.2+)."""
+        return self.redistribute_bodies
+
+    def charge_body_words(self, tid: int, idx: np.ndarray,
+                          words: int) -> None:
+        """Charge per-body field accesses for the bodies in ``idx``.
+
+        The baseline reads/writes body structs wherever they are stored;
+        redistribution makes them local and castable to plain pointers.
+        """
+        rt = self.rt
+        if len(idx) == 0:
+            return
+        if self.body_ptrs_local():
+            rt.charge_compute(
+                tid, len(idx) * words * rt.machine.local_word_cost
+            )
+            return
+        owners = self.bodies.store[idx]
+        counts = np.bincount(owners, minlength=self.P)
+        for owner in np.nonzero(counts)[0]:
+            rt.word_access(tid, int(owner), words=1.0,
+                           count=float(counts[owner]) * words,
+                           key="body_words")
+
+    def read_shared_scalar(self, tid: int, count: float) -> None:
+        """Read a thread-0 shared scalar ``count`` times (unless replicated)."""
+        if count <= 0:
+            return
+        self.rt.word_access(tid, 0, words=1.0, count=count,
+                            key="scalar_reads")
+
+    # ------------------------------------------------------------------ #
+    # phase: tree build (baseline: global insertion under locks)         #
+    # ------------------------------------------------------------------ #
+    def phase_treebuild(self) -> None:
+        rt = self.rt
+        bodies = self.bodies
+        self.root = new_root(self.box, home=0)
+        self._locks.clear()
+        self.ncells = 1
+        self.mycelltab = [[] for _ in range(self.P)]
+        self.mycelltab[0].append(self.root)
+
+        def make_hooks(t: int):
+            def on_visit(cell: Cell) -> None:
+                rt.word_access(t, cell.home, words=CELL_VISIT_WORDS,
+                               key="cell_visits")
+
+            def on_alloc(cell: Cell) -> None:
+                rt.heap.upc_alloc(t, rt.machine.cell_nbytes, cell)
+                rt.charge_compute(t, CELL_COMPUTE)
+                self.mycelltab[t].append(cell)
+                self.ncells += 1
+                rt.count(t, "cells_alloc")
+
+            def on_modify(cell: Cell) -> None:
+                lk = self.lock_of(cell)
+                rt.lock(t, lk)
+                rt.word_access(t, cell.home, words=1.0, key="cell_writes")
+                rt.unlock(t, lk)
+
+            return on_visit, on_alloc, on_modify
+
+        hooks = [make_hooks(t) for t in range(self.P)]
+        idx_lists = []
+        for t in range(self.P):
+            idx = self.assigned(t)
+            idx_lists.append(idx)
+            if self.replicate_scalars:
+                # one myrsize copy per thread per phase (section 5.1)
+                self.read_shared_scalar(t, 1)
+            else:
+                self.read_shared_scalar(t, float(len(idx)))  # rsize/insert
+            self.charge_body_words(t, idx, BODY_POS_WORDS)
+        # Threads insert concurrently on the real machine; interleave the
+        # insertions round-robin so cell creation (and hence cell affinity
+        # and lock contention) is spread across threads the way a parallel
+        # build spreads it, instead of thread 0 winning every top cell.
+        longest = max((len(x) for x in idx_lists), default=0)
+        for k in range(longest):
+            for t in range(self.P):
+                idx = idx_lists[t]
+                if k < len(idx):
+                    on_visit, on_alloc, on_modify = hooks[t]
+                    insert(self.root, int(idx[k]), bodies.pos, home=t,
+                           on_visit=on_visit, on_alloc=on_alloc,
+                           on_modify=on_modify)
+
+    # ------------------------------------------------------------------ #
+    # phase: center of mass (baseline: spin on done flags)               #
+    # ------------------------------------------------------------------ #
+    def phase_cofm(self) -> None:
+        rt = self.rt
+        bodies = self.bodies
+        P = self.P
+
+        def worker(t: int):
+            for cell in reversed(self.mycelltab[t]):
+                mass = 0.0
+                cofm = np.zeros(3)
+                nb = 0
+                cost = 0.0
+                for ch in cell.children:
+                    rt.word_access(t, cell.home, words=1.0,
+                                   key="cofm_slot_reads")
+                    if ch is None:
+                        continue
+                    if isinstance(ch, Leaf):
+                        self.charge_body_words(
+                            t, np.asarray(ch.indices), BODY_LEAF_WORDS
+                        )
+                        for b in ch.indices:
+                            m = bodies.mass[b]
+                            mass += m
+                            cofm += m * bodies.pos[b]
+                            nb += 1
+                            cost += bodies.cost[b]
+                    else:
+                        if not rt.token_done(ch):
+                            yield ch  # spin until the child is done
+                        rt.word_access(t, ch.home, words=COFM_CHILD_WORDS,
+                                       key="cofm_child_reads")
+                        mass += ch.mass
+                        cofm += ch.mass * ch.cofm
+                        nb += ch.nbodies
+                        cost += ch.cost
+                rt.charge_compute(t, CELL_COMPUTE)
+                cell.mass = mass
+                cell.cofm = cofm / mass if mass > 0 else cell.center.copy()
+                cell.nbodies = nb
+                cell.cost = cost
+                rt.mark_done(cell, t)
+
+        rt.run_waiting({t: worker(t) for t in range(P)},
+                       poll_cost=rt.machine.cpu_overhead)
+
+    # ------------------------------------------------------------------ #
+    # phase: partitioning (costzones)                                    #
+    # ------------------------------------------------------------------ #
+    def phase_partition(self) -> None:
+        rt = self.rt
+        P = self.P
+        visits = min(max(self.ncells, 1), 64)
+        for t in range(P):
+            # the costzone walk touches O(P + depth) cells spread over all
+            # owners; charge an even spread
+            per_owner = visits * CELL_VISIT_WORDS / P
+            for o in range(P):
+                rt.word_access(t, o, words=1.0, count=per_owner,
+                               key="partition_reads")
+        new_assign = costzones(self.root, self.bodies.cost, P)
+        changed = int((new_assign != self.bodies.assign).sum())
+        rt.count(0, "partition_changed", changed)
+        self.bodies.assign = new_assign
+
+    # ------------------------------------------------------------------ #
+    # phase: redistribution (no-op here; see redistribute.py)            #
+    # ------------------------------------------------------------------ #
+    def phase_redistribution(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # phase: force computation                                           #
+    # ------------------------------------------------------------------ #
+    def make_force_policy(self, tid: int) -> "BaselineForcePolicy":
+        return BaselineForcePolicy(self, tid)
+
+    def force_root(self, tid: int):
+        return self.root
+
+    def phase_force(self) -> None:
+        rt = self.rt
+        bodies = self.bodies
+        new_cost = bodies.cost.copy()
+        for t in range(self.P):
+            idx = self.assigned(t)
+            if len(idx) == 0:
+                continue
+            self.charge_body_words(t, idx, BODY_FORCE_WORDS)
+            policy = self.make_force_policy(t)
+            acc, work = gravity_traversal(
+                self.force_root(t), idx, bodies.pos, bodies.mass,
+                self.cfg.theta, self.cfg.eps, policy,
+                open_self_cells=self.cfg.open_self_cells,
+            )
+            policy.flush()
+            bodies.acc[idx] = acc
+            new_cost[idx] = np.maximum(work, 1.0)
+            rt.charge_compute(
+                t, float(work.sum()) * rt.machine.interaction_cost
+            )
+            rt.count(t, "interactions", float(work.sum()))
+        bodies.cost = new_cost
+
+    # ------------------------------------------------------------------ #
+    # phase: body advance + new bounding box                             #
+    # ------------------------------------------------------------------ #
+    def phase_advance(self) -> None:
+        rt = self.rt
+        bodies = self.bodies
+        for t in range(self.P):
+            idx = self.assigned(t)
+            if len(idx) == 0:
+                continue
+            self.charge_body_words(t, idx, BODY_ADV_WORDS)
+            rt.charge_compute(t, len(idx) * ADVANCE_FLOPS)
+            if self.step_index == 0:
+                startup_half_kick(bodies.vel[idx], bodies.acc[idx],
+                                  self.cfg.dt)
+            advance_indices(bodies.pos, bodies.vel, bodies.acc, idx,
+                            self.cfg.dt)
+        # thread 0 gathers per-thread bounding boxes and publishes rsize
+        for o in range(1, self.P):
+            rt.word_access(0, o, words=6.0, key="bbox_gather")
+        rt.charge_compute(0, self.P * ADVANCE_FLOPS)
+        self.box = compute_root(bodies.pos, self.cfg.initial_rsize)
+        if self.replicate_scalars and self.P > 1:
+            # replicas are refreshed with a broadcast (section 5.1)
+            from ...upc.collectives import broadcast
+
+            broadcast(rt, rt.machine.word_nbytes)
+
+
+class BaselineForcePolicy(TraversalPolicy):
+    """Charges the baseline's fine-grained remote traffic, aggregated per
+    owner thread and flushed once per traversal.
+
+    Every opening test reads the cell's cofm/mass/size fields *and* the
+    shared scalar ``tol`` from thread 0; every interaction reads ``eps``
+    from thread 0 (section 5.1 explains why this murders scalability).
+    """
+
+    def __init__(self, variant: VariantBase, tid: int):
+        self.v = variant
+        self.tid = tid
+        P = variant.P
+        self.words_to = [0.0] * P  # fine-grained words per owner
+        self.scalar_reads = 0.0  # words read from thread 0 (tol/eps)
+        self.local_words = 0.0
+
+    def on_test(self, cell: Cell, n_active: int) -> None:
+        self.words_to[cell.home] += CELL_TEST_WORDS * n_active
+        if not self.v.replicate_scalars:
+            self.scalar_reads += n_active  # tol
+
+    def on_accept(self, cell: Cell, n_far: int) -> None:
+        if not self.v.replicate_scalars:
+            self.scalar_reads += n_far  # eps
+
+    def on_open(self, cell: Cell, n_near: int) -> None:
+        self.words_to[cell.home] += CELL_OPEN_WORDS * n_near
+
+    def on_leaf(self, leaf: Leaf, n_active: int) -> None:
+        store = self.v.bodies.store
+        for b in leaf.indices:
+            self.words_to[store[b]] += BODY_LEAF_WORDS * n_active
+        if not self.v.replicate_scalars:
+            self.scalar_reads += n_active * len(leaf.indices)  # eps
+
+    def flush(self) -> None:
+        rt = self.v.rt
+        for owner, words in enumerate(self.words_to):
+            if words > 0:
+                rt.word_access(self.tid, owner, words=1.0, count=words,
+                               key="force_words")
+        if self.scalar_reads > 0:
+            rt.word_access(self.tid, 0, words=1.0, count=self.scalar_reads,
+                           key="scalar_reads")
+        if self.local_words > 0:
+            rt.charge_compute(
+                self.tid, self.local_words * rt.machine.local_word_cost
+            )
+
+
+class Baseline(VariantBase):
+    """L0: the shared-memory-style SPLASH-2 translation (section 4)."""
+
+    name = "baseline"
+    ladder_level = 0

@@ -1,0 +1,65 @@
+"""Variant registry and the cumulative optimization ladder."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from .async_agg import AsyncAgg
+from .base import Baseline, VariantBase
+from .cache_merged import CacheMerged
+from .cache_tree import CacheTree
+from .local_build import LocalBuild
+from .mpi_let import MpiLet
+from .redistribute import Redistribute
+from .replicate import Replicate
+from .subspace import Subspace
+
+#: every selectable variant, by registry name
+VARIANTS: Dict[str, Type[VariantBase]] = {
+    cls.name: cls
+    for cls in (
+        Baseline,
+        Replicate,
+        Redistribute,
+        CacheTree,
+        CacheMerged,
+        LocalBuild,
+        AsyncAgg,
+        Subspace,
+        MpiLet,
+    )
+}
+
+#: the paper's cumulative optimization order (sections 4, 5.1-5.5, 6);
+#: "cache-merged" sits off-ladder as the section 5.3.2 alternative
+OPT_LADDER: List[str] = [
+    "baseline",
+    "replicate",
+    "redistribute",
+    "cache",
+    "localbuild",
+    "async",
+    "subspace",
+]
+
+#: which paper artifact introduced each level
+LADDER_SECTIONS = {
+    "baseline": "4",
+    "replicate": "5.1",
+    "redistribute": "5.2",
+    "cache": "5.3",
+    "cache-merged": "5.3.2",
+    "localbuild": "5.4",
+    "async": "5.5",
+    "subspace": "6",
+    "mpi-let": "9*",  # the future-work MPI comparison, implemented
+}
+
+
+def get_variant(name: str) -> Type[VariantBase]:
+    try:
+        return VARIANTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown variant {name!r}; choose from {sorted(VARIANTS)}"
+        ) from None

@@ -1,0 +1,20 @@
+"""L1 -- replicate shared scalar variables (paper section 5.1).
+
+``tol`` and ``eps`` become private per-thread variables initialized at
+startup ("write-once"); ``rsize`` gets a per-thread copy ``myrsize``
+refreshed once per phase/broadcast ("write-rarely").  No other change: the
+force traversal still performs fine-grained remote reads of remote cells --
+it just stops hammering thread 0 for scalars.
+"""
+
+from __future__ import annotations
+
+from .base import VariantBase
+
+
+class Replicate(VariantBase):
+    """Baseline + replicated shared scalars."""
+
+    name = "replicate"
+    ladder_level = 1
+    replicate_scalars = True

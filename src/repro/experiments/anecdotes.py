@@ -1,0 +1,71 @@
+"""Section 4.1's pthreads anecdote and Table 8-vs-9 mode comparison.
+
+The paper: baseline code, 2M bodies, 16 UPC threads on ONE node.  With
+``-pthreads`` (16 pthreads sharing memory) the run took 26s; with 16
+processes (all "remote" accesses through the loopback communication stack
+and one shared adapter) it took more than 36000s -- a factor of ~1400.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.app import run_variant
+from ..upc.params import MachineConfig
+from .common import BENCH, Scale
+
+
+@dataclass(frozen=True)
+class AnecdoteResult:
+    pthread_total: float
+    process_total: float
+
+    @property
+    def slowdown(self) -> float:
+        return self.process_total / self.pthread_total
+
+
+def run_pthread_anecdote(scale: Scale = BENCH,
+                         nthreads: int = 16) -> AnecdoteResult:
+    """Baseline code, one node, pthread vs process mode."""
+    cfg = scale.config()
+    r_pth = run_variant(
+        "baseline", cfg, nthreads,
+        machine=MachineConfig(threads_per_node=nthreads, mode="pthread"),
+    )
+    r_prc = run_variant(
+        "baseline", cfg, nthreads,
+        machine=MachineConfig(threads_per_node=nthreads, mode="process"),
+    )
+    return AnecdoteResult(pthread_total=r_pth.total_time,
+                          process_total=r_prc.total_time)
+
+
+@dataclass(frozen=True)
+class ModeComparison:
+    """Table 8 vs Table 9: process vs pthread at the same topology."""
+
+    threads: "list[int]"
+    process_totals: "list[float]"
+    pthread_totals: "list[float]"
+
+    def advantage(self, i: int) -> float:
+        """Fraction by which process mode beats pthread mode."""
+        return 1.0 - self.process_totals[i] / self.pthread_totals[i]
+
+
+def run_mode_comparison(scale: Scale = BENCH) -> ModeComparison:
+    cfg = scale.config()
+    threads = [p for p in scale.thread_counts]
+    proc, pth = [], []
+    for p in threads:
+        proc.append(run_variant(
+            "subspace", cfg, p,
+            machine=MachineConfig(threads_per_node=1, mode="process"),
+        ).total_time)
+        pth.append(run_variant(
+            "subspace", cfg, p,
+            machine=MachineConfig(threads_per_node=1, mode="pthread"),
+        ).total_time)
+    return ModeComparison(threads=threads, process_totals=proc,
+                          pthread_totals=pth)

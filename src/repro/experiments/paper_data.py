@@ -1,0 +1,148 @@
+"""The paper's reported numbers, transcribed from the text.
+
+Tables 2-9 give per-phase seconds for 2M bodies on 1..112 nodes of the
+IBM Power5 cluster.  The weak-scaling figures (7, 10, 11, 12) print no
+series in the text, so their prose claims are captured as constants used by
+:mod:`repro.experiments.shapes`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: thread counts of every strong-scaling table
+PAPER_THREADS: List[int] = [1, 2, 4, 8, 16, 32, 64, 96, 112]
+
+#: paper phase-time tables: table id -> phase -> seconds per thread count
+PAPER_TABLES: Dict[str, Dict[str, List[float]]] = {
+    # Table 2: baseline UPC BH (section 4.2)
+    "table2": {
+        "treebuild": [6.0, 285.2, 165.8, 96.1, 53.4, 40.5, 38.9, 38.5, 38.3],
+        "cofm": [1.4, 112.1, 69.2, 38.8, 20.6, 11.2, 6.3, 4.6, 4.0],
+        "partition": [0.1, 0.1, 0.1, 0.1, 0.0, 0.0, 0.0, 0.0, 0.0],
+        "force": [189.7, 21272.7, 17229.7, 9953.5, 5402.8, 3379.5, 3323.2,
+                  3208.3, 3172.1],
+        "advance": [1.5, 382.3, 224.0, 133.7, 68.2, 38.0, 32.5, 30.5, 29.7],
+        "total": [198.6, 22052.4, 17688.7, 10222.2, 5545.0, 3469.2, 3401.0,
+                  3281.8, 3244.2],
+    },
+    # Table 3: replicated shared scalars (section 5.1)
+    "table3": {
+        "treebuild": [6.1, 160.9, 94.4, 53.0, 28.0, 15.2, 8.5, 6.0, 5.3],
+        "cofm": [1.4, 123.6, 68.3, 39.5, 21.0, 11.4, 6.5, 4.7, 4.1],
+        "partition": [0.1, 0.1, 0.1, 0.1, 0.0, 0.0, 0.0, 0.0, 0.0],
+        "force": [187.6, 10583.2, 11183.6, 6716.8, 3720.3, 1989.0, 1034.8,
+                  726.1, 658.5],
+        "advance": [1.4, 329.3, 178.2, 100.4, 53.7, 28.2, 15.9, 11.4, 10.1],
+        "total": [196.6, 11197.1, 11524.5, 6909.8, 3822.9, 2043.8, 1065.6,
+                  748.2, 677.9],
+    },
+    # Table 4: body redistribution (section 5.2)
+    "table4": {
+        "treebuild": [4.9, 8.1, 12.4, 8.8, 6.4, 4.5, 3.4, 2.2, 2.2],
+        "cofm": [0.8, 0.6, 0.8, 0.6, 0.4, 0.3, 0.3, 0.2, 0.2],
+        "partition": [0.1, 0.1, 0.1, 0.1, 0.0, 0.0, 0.0, 0.0, 0.0],
+        "redistribution": [0.0] * 9,
+        "force": [182.9, 9321.4, 10395.3, 6516.6, 3572.8, 1863.7, 994.1,
+                  699.3, 647.3],
+        "advance": [0.3, 0.2, 0.1, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        "total": [189.1, 9330.4, 10408.6, 6526.1, 3579.7, 1868.6, 997.8,
+                  701.8, 649.8],
+    },
+    # Table 5: caching with a separate local tree (section 5.3.1)
+    "table5": {
+        "treebuild": [5.0, 8.1, 12.1, 9.6, 6.0, 4.3, 3.3, 2.3, 2.1],
+        "cofm": [0.8, 0.6, 0.7, 0.6, 0.4, 0.3, 0.3, 0.2, 0.2],
+        "partition": [0.1, 0.1, 0.1, 0.1, 0.0, 0.0, 0.0, 0.0, 0.0],
+        "redistribution": [0.0] * 9,
+        "force": [136.4, 103.9, 54.1, 30.2, 15.1, 8.9, 8.7, 8.5, 8.5],
+        "advance": [0.3, 0.2, 0.1, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        "total": [142.6, 112.9, 67.2, 40.6, 21.7, 13.6, 12.4, 11.1, 10.8],
+    },
+    # Table 6: local build + merge (section 5.4); c-of-m folded into build
+    "table6": {
+        "treebuild": [1.9, 2.1, 2.9, 2.1, 1.7, 1.0, 0.7, 0.7, 0.6],
+        "partition": [0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.0, 0.0, 0.0],
+        "redistribution": [0.0] * 9,
+        "force": [136.6, 104.7, 54.1, 28.8, 15.1, 8.9, 8.7, 8.5, 8.5],
+        "advance": [0.3, 0.2, 0.1, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        "total": [138.9, 107.0, 57.2, 31.1, 16.8, 10.0, 9.5, 9.3, 9.2],
+    },
+    # Table 7: non-blocking + aggregation, n1=n2=n3=4 (section 5.5)
+    "table7": {
+        "treebuild": [1.9, 2.0, 3.0, 2.5, 1.7, 1.0, 0.7, 0.6, 0.6],
+        "partition": [0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.0, 0.0, 0.0],
+        "redistribution": [0.0] * 9,
+        "force": [159.4, 80.3, 40.7, 20.6, 10.4, 5.3, 2.8, 1.9, 1.6],
+        "advance": [0.3, 0.2, 0.1, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        "total": [161.8, 82.6, 43.9, 23.2, 12.2, 6.4, 3.6, 2.6, 2.3],
+    },
+    # Table 8: subspace build, strong scaling, 1 process/node (section 6.2)
+    "table8": {
+        "treebuild": [2.0, 1.1, 0.6, 0.4, 0.4, 0.2, 0.2, 0.2, 0.2],
+        "partition": [0.1, 0.1, 0.1, 0.3, 0.6, 0.2, 0.1, 0.1, 0.1],
+        "redistribution": [0.0, 0.0, 0.0, 0.1, 0.2, 0.1, 0.0, 0.0, 0.0],
+        "force": [158.2, 79.5, 40.4, 20.5, 10.7, 5.3, 2.7, 1.9, 1.6],
+        "advance": [0.3, 0.2, 0.1, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        "total": [160.7, 80.9, 41.2, 21.3, 11.9, 5.9, 3.1, 2.3, 2.0],
+    },
+    # Table 9: subspace build, strong scaling, 1 thread/node (section 6.2)
+    "table9": {
+        "treebuild": [2.9, 1.7, 1.0, 0.6, 0.5, 0.3, 0.2, 0.2, 0.2],
+        "partition": [0.2, 0.2, 0.1, 0.3, 0.6, 0.2, 0.1, 0.1, 0.1],
+        "redistribution": [0.0, 0.0, 0.0, 0.1, 0.2, 0.1, 0.0, 0.0, 0.0],
+        "force": [309.2, 154.1, 77.8, 39.5, 19.8, 10.0, 5.1, 3.4, 2.9],
+        "advance": [0.3, 0.2, 0.1, 0.1, 0.0, 0.0, 0.0, 0.0, 0.0],
+        "total": [312.6, 156.1, 79.1, 40.5, 21.2, 10.6, 5.5, 3.8, 3.3],
+    },
+}
+
+#: which variant reproduces each table, and in which machine mode
+TABLE_VARIANTS: Dict[str, str] = {
+    "table2": "baseline",
+    "table3": "replicate",
+    "table4": "redistribute",
+    "table5": "cache",
+    "table6": "localbuild",
+    "table7": "async",
+    "table8": "subspace",
+    "table9": "subspace",
+}
+
+#: prose claims backing the figures without printed data
+PAPER_CLAIMS = {
+    # figure 5 / section 6.2
+    "speedup_112_selfrelative": 81.4,
+    "improvement_vs_baseline_112": 1644.0,
+    "improvement_vs_baseline_64": 854.0,
+    "improvement_vs_baseline_2": 272.0,
+    # figure 6
+    "force_fraction_at_112_all_opts": 0.824,
+    # section 5.2
+    "migration_fraction": 0.02,
+    # section 5.5
+    "single_source_fraction_32t": 0.95,
+    "single_source_fraction_64t": 0.93,
+    # section 5.4 (at 112 threads)
+    "treebuild_reduction_L4": 0.83,
+    # figure 8 (128 threads, 250k bodies/thread)
+    "local_build_max_s": 0.5,
+    "merge_max_s": 26.0,
+    # figure 12
+    "tpn16_vs_tpn1_advantage": 0.07,
+    "process_vs_pthread_advantage": 0.5,
+    # figure 13
+    "strong_scaling_inflection_bodies_per_thread": 4096,
+    # section 6.1 (16x112 threads)
+    "subspaces_at_1792_threads": 10400,
+    "levels_at_1792_threads": 9,
+}
+
+
+def paper_table(table_id: str) -> Dict[str, List[float]]:
+    return PAPER_TABLES[table_id]
+
+
+def paper_total(table_id: str, nthreads: int) -> float:
+    i = PAPER_THREADS.index(nthreads)
+    return PAPER_TABLES[table_id]["total"][i]

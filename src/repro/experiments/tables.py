@@ -1,0 +1,81 @@
+"""Runners for the paper's Tables 2-9 (strong scaling, 2M bodies scaled).
+
+Each ``run_tableN`` executes the corresponding optimization level over the
+paper's thread counts and returns a :class:`TableResult` whose rows match
+the paper's layout.  Tables 2-7 use the section-5 machine (1 process/node);
+Table 8 uses the same; Table 9 flips to pthread mode (1 pthread/node),
+which is the paper's ~2x-compute configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..upc.params import MachineConfig, paper_section5_machine
+from .common import BENCH, Scale, TableResult, run_strong_table
+
+
+def _process_machine(_p: int) -> MachineConfig:
+    return paper_section5_machine()
+
+
+def _pthread_machine(_p: int) -> MachineConfig:
+    return MachineConfig(threads_per_node=1, mode="pthread")
+
+
+def run_table2(scale: Scale = BENCH) -> TableResult:
+    """Baseline UPC BH (paper section 4.2)."""
+    return run_strong_table("table2", "baseline", scale, _process_machine)
+
+
+def run_table3(scale: Scale = BENCH) -> TableResult:
+    """+ replicated shared scalars (section 5.1)."""
+    return run_strong_table("table3", "replicate", scale, _process_machine)
+
+
+def run_table4(scale: Scale = BENCH) -> TableResult:
+    """+ body redistribution (section 5.2)."""
+    return run_strong_table("table4", "redistribute", scale,
+                            _process_machine)
+
+
+def run_table5(scale: Scale = BENCH) -> TableResult:
+    """+ separate-local-tree caching (section 5.3.1)."""
+    return run_strong_table("table5", "cache", scale, _process_machine)
+
+
+def run_table6(scale: Scale = BENCH) -> TableResult:
+    """+ local tree build and merge (section 5.4)."""
+    return run_strong_table("table6", "localbuild", scale, _process_machine)
+
+
+def run_table7(scale: Scale = BENCH) -> TableResult:
+    """+ non-blocking communication and aggregation (section 5.5)."""
+    return run_strong_table("table7", "async", scale, _process_machine)
+
+
+def run_table8(scale: Scale = BENCH) -> TableResult:
+    """Subspace tree building, 1 process/node (section 6.2)."""
+    return run_strong_table("table8", "subspace", scale, _process_machine)
+
+
+def run_table9(scale: Scale = BENCH) -> TableResult:
+    """Subspace tree building, 1 thread/node, pthread mode (section 6.2)."""
+    return run_strong_table("table9", "subspace", scale, _pthread_machine)
+
+
+TABLE_RUNNERS: Dict[str, Callable[[Scale], TableResult]] = {
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "table6": run_table6,
+    "table7": run_table7,
+    "table8": run_table8,
+    "table9": run_table9,
+}
+
+
+def run_all_tables(scale: Scale = BENCH) -> Dict[str, TableResult]:
+    """Run every table once (Figure 5/6 inputs); ~minutes at BENCH scale."""
+    return {tid: fn(scale) for tid, fn in TABLE_RUNNERS.items()}

@@ -1,0 +1,48 @@
+"""N-body physics substrate: bodies, initial conditions, kernels, reference
+direct summation, integrator, diagnostics."""
+
+from .bbox import RootBox, bounding_box, compute_root
+from .bodies import BodySoA
+from .constants import (
+    DEFAULT_DT,
+    DEFAULT_EPS,
+    DEFAULT_NSTEPS,
+    DEFAULT_THETA,
+    DEFAULT_WARMUP_STEPS,
+    G,
+    MFRAC,
+)
+from .direct import direct_acc, direct_potential
+from .distributions import two_plummer_collision, uniform_sphere
+from .energy import EnergyReport, energy_report, kinetic_energy
+from .integrator import advance, advance_indices, startup_half_kick
+from .kernels import accept_mask, point_acc
+from .plummer import plummer, plummer_half_mass_radius
+
+__all__ = [
+    "BodySoA",
+    "DEFAULT_DT",
+    "DEFAULT_EPS",
+    "DEFAULT_NSTEPS",
+    "DEFAULT_THETA",
+    "DEFAULT_WARMUP_STEPS",
+    "EnergyReport",
+    "G",
+    "MFRAC",
+    "RootBox",
+    "accept_mask",
+    "advance",
+    "advance_indices",
+    "bounding_box",
+    "compute_root",
+    "direct_acc",
+    "direct_potential",
+    "energy_report",
+    "kinetic_energy",
+    "plummer",
+    "plummer_half_mass_radius",
+    "point_acc",
+    "startup_half_kick",
+    "two_plummer_collision",
+    "uniform_sphere",
+]

@@ -1,0 +1,88 @@
+"""Structure-of-arrays body storage.
+
+One canonical numpy SoA holds every body; the PGAS simulation layers two
+affinity maps on top:
+
+``store``
+    the thread in whose shared memory the body currently lives (the
+    baseline fixes this at initialization; the section-5.2 optimization
+    updates it every step), and
+
+``assign``
+    the thread that computes forces for the body this step (the result of
+    partitioning).
+
+Keeping the physics arrays unified lets the reproduction vectorize force
+and advance kernels while metering every access against the affinity maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class BodySoA:
+    """All bodies of one simulation."""
+
+    pos: np.ndarray  # (n, 3) float64
+    vel: np.ndarray  # (n, 3) float64
+    mass: np.ndarray  # (n,) float64
+    acc: np.ndarray  # (n, 3) float64
+    cost: np.ndarray  # (n,) float64 -- work counter from the last force phase
+    store: np.ndarray  # (n,) int32 -- storage affinity
+    assign: np.ndarray  # (n,) int32 -- computation assignment
+
+    @classmethod
+    def from_arrays(cls, pos: np.ndarray, vel: np.ndarray,
+                    mass: np.ndarray) -> "BodySoA":
+        pos = np.ascontiguousarray(pos, dtype=np.float64)
+        vel = np.ascontiguousarray(vel, dtype=np.float64)
+        mass = np.ascontiguousarray(mass, dtype=np.float64)
+        n = len(mass)
+        if pos.shape != (n, 3) or vel.shape != (n, 3):
+            raise ValueError("pos and vel must be (n, 3)")
+        if np.any(mass <= 0):
+            raise ValueError("masses must be positive")
+        return cls(
+            pos=pos,
+            vel=vel,
+            mass=mass,
+            acc=np.zeros((n, 3), dtype=np.float64),
+            cost=np.ones(n, dtype=np.float64),
+            store=np.zeros(n, dtype=np.int32),
+            assign=np.zeros(n, dtype=np.int32),
+        )
+
+    def __len__(self) -> int:
+        return len(self.mass)
+
+    @property
+    def n(self) -> int:
+        return len(self.mass)
+
+    def total_mass(self) -> float:
+        return float(self.mass.sum())
+
+    def center_of_mass(self) -> np.ndarray:
+        return (self.mass[:, None] * self.pos).sum(0) / self.mass.sum()
+
+    def momentum(self) -> np.ndarray:
+        return (self.mass[:, None] * self.vel).sum(0)
+
+    def indices_assigned_to(self, tid: int) -> np.ndarray:
+        """Global indices of bodies computed by thread ``tid`` this step."""
+        return np.nonzero(self.assign == tid)[0]
+
+    def indices_stored_on(self, tid: int) -> np.ndarray:
+        """Global indices of bodies stored in thread ``tid``'s memory."""
+        return np.nonzero(self.store == tid)[0]
+
+    def copy(self) -> "BodySoA":
+        return BodySoA(
+            pos=self.pos.copy(), vel=self.vel.copy(), mass=self.mass.copy(),
+            acc=self.acc.copy(), cost=self.cost.copy(),
+            store=self.store.copy(), assign=self.assign.copy(),
+        )

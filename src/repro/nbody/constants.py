@@ -1,0 +1,25 @@
+"""Physical constants and SPLASH-2 default parameters.
+
+The paper keeps the SPLASH-2 defaults (section 4.1): theta = 1.0, a time-step
+of 0.025, Plummer initial conditions with M = -4E = G = 1, four time-steps
+simulated with the last two measured.
+"""
+
+#: gravitational constant (N-body units).
+G = 1.0
+
+#: default opening-criterion parameter (``tol`` in SPLASH-2).
+DEFAULT_THETA = 1.0
+
+#: default potential-softening length (``eps`` in SPLASH-2).
+DEFAULT_EPS = 0.05
+
+#: default time-step (seconds of simulated dynamical time).
+DEFAULT_DT = 0.025
+
+#: SPLASH-2 runs 4 steps and measures the last 2.
+DEFAULT_NSTEPS = 4
+DEFAULT_WARMUP_STEPS = 2
+
+#: Plummer-model mass fraction cutoff (SPLASH-2 ``MFRAC``).
+MFRAC = 0.999

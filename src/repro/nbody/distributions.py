@@ -1,0 +1,52 @@
+"""Additional initial-condition generators for the example applications."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bodies import BodySoA
+from .plummer import plummer
+
+
+def uniform_sphere(n: int, seed: int = 123, radius: float = 1.0) -> BodySoA:
+    """Cold, uniform-density sphere (collapses; stresses tree rebuilds)."""
+    rng = np.random.default_rng(seed)
+    pts = np.empty((n, 3))
+    filled = 0
+    while filled < n:
+        cand = rng.uniform(-1.0, 1.0, size=(2 * (n - filled) + 8, 3))
+        ok = np.einsum("ij,ij->i", cand, cand) <= 1.0
+        take = cand[ok][: n - filled]
+        pts[filled:filled + len(take)] = take
+        filled += len(take)
+    pos = pts * radius
+    vel = np.zeros_like(pos)
+    mass = np.full(n, 1.0 / n)
+    return BodySoA.from_arrays(pos, vel, mass)
+
+
+def two_plummer_collision(n: int, seed: int = 123, separation: float = 4.0,
+                          approach_speed: float = 0.5) -> BodySoA:
+    """Two Plummer spheres on a head-on collision course.
+
+    The classic "galaxy collision" scenario: a strongly time-varying,
+    bimodal body distribution that exercises repartitioning and body
+    migration far harder than a single relaxed sphere.
+    """
+    if n < 2:
+        raise ValueError("need at least two bodies")
+    n1 = n // 2
+    n2 = n - n1
+    a = plummer(n1, seed=seed)
+    b = plummer(n2, seed=seed + 1)
+    a.pos[:, 0] -= separation / 2.0
+    b.pos[:, 0] += separation / 2.0
+    a.vel[:, 0] += approach_speed / 2.0
+    b.vel[:, 0] -= approach_speed / 2.0
+    pos = np.vstack([a.pos, b.pos])
+    vel = np.vstack([a.vel, b.vel])
+    mass = np.concatenate([a.mass, b.mass]) / 2.0  # total mass back to 1
+    out = BodySoA.from_arrays(pos, vel, mass)
+    out.pos -= out.center_of_mass()
+    out.vel -= out.momentum() / out.total_mass()
+    return out

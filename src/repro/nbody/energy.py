@@ -1,0 +1,39 @@
+"""Energy and virial diagnostics used by tests and examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bodies import BodySoA
+from .direct import direct_potential
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    kinetic: float
+    potential: float
+
+    @property
+    def total(self) -> float:
+        return self.kinetic + self.potential
+
+    @property
+    def virial_ratio(self) -> float:
+        """-2T/U; 1.0 for a system in virial equilibrium."""
+        if self.potential == 0:
+            return float("nan")
+        return -2.0 * self.kinetic / self.potential
+
+
+def kinetic_energy(bodies: BodySoA) -> float:
+    v_sq = np.einsum("ij,ij->i", bodies.vel, bodies.vel)
+    return 0.5 * float((bodies.mass * v_sq).sum())
+
+
+def energy_report(bodies: BodySoA, eps: float) -> EnergyReport:
+    return EnergyReport(
+        kinetic=kinetic_energy(bodies),
+        potential=direct_potential(bodies.pos, bodies.mass, eps),
+    )

@@ -1,0 +1,45 @@
+"""Vectorized gravity kernels shared by every Barnes-Hut variant.
+
+The force law is Plummer-softened Newtonian gravity (the SPLASH-2 ``eps``):
+
+    a_i = G * m_j * (r_j - r_i) / (|r_j - r_i|^2 + eps^2)^(3/2)
+
+and the opening criterion is the paper's figure 2: a cell of side ``l`` at
+distance ``d`` from the body (measured to the cell's center of mass) may be
+used whole iff ``l / d < theta``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .constants import G
+
+
+def point_acc(pos: np.ndarray, src_pos: np.ndarray, src_mass: float,
+              eps_sq: float) -> np.ndarray:
+    """Acceleration at each row of ``pos`` due to one point mass.
+
+    ``pos`` is (k, 3); returns (k, 3).
+    """
+    d = src_pos - pos
+    dsq = np.einsum("ij,ij->i", d, d) + eps_sq
+    inv = G * src_mass / (dsq * np.sqrt(dsq))
+    return d * inv[:, None]
+
+
+def accept_mask(pos: np.ndarray, cofm: np.ndarray, size: float,
+                theta: float) -> np.ndarray:
+    """True where the cell is "far enough" (l/d < theta) from each body."""
+    d = pos - cofm
+    dsq = np.einsum("ij,ij->i", d, d)
+    return (size * size) < (theta * theta) * dsq
+
+
+def interaction_count_estimate(n: int, theta: float) -> float:
+    """Rough expected interactions per body (used only for sizing tests)."""
+    if n <= 1:
+        return 0.0
+    import math
+
+    return min(n - 1.0, 28.0 / max(theta, 1e-3) ** 2 * math.log2(max(n, 2)))

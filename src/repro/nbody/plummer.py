@@ -1,0 +1,92 @@
+"""Plummer-model initial conditions (Aarseth, Henon & Wielen 1974).
+
+Follows the SPLASH-2 ``testdata.c`` construction, which the paper uses
+unchanged: N equal-mass bodies, positions drawn from the Plummer density by
+inverting the cumulative mass profile (truncated at mass fraction MFRAC),
+velocities drawn by von Neumann rejection from the isotropic distribution
+function g(x) = x^2 (1 - x^2)^(7/2), everything expressed in standard
+N-body units M = -4E = G = 1 and shifted to the center-of-mass frame.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .bodies import BodySoA
+from .constants import MFRAC
+
+#: length scale factor converting Plummer model units (a=1) into standard
+#: N-body units with E = -1/4 (Henon units); the paper states the SPLASH-2
+#: initial conditions use M = -4E = G = 1.
+RSC = 3.0 * math.pi / 16.0
+#: speed scale factor (sqrt(1/RSC), preserving GM/r velocity scaling).
+VSC = math.sqrt(1.0 / RSC)
+
+
+def _pick_shell(rng: np.random.Generator, n: int, radii: np.ndarray) -> np.ndarray:
+    """Uniformly random points on spheres of the given radii.
+
+    SPLASH-2 uses rejection from the unit cube; a Gaussian draw is
+    distribution-identical and vectorizes.
+    """
+    v = rng.normal(size=(n, 3))
+    norms = np.linalg.norm(v, axis=1)
+    # a zero-norm draw has probability 0; guard anyway
+    norms[norms == 0] = 1.0
+    return v * (radii / norms)[:, None]
+
+
+def _sample_velocity_fraction(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Rejection-sample x in [0,1] with density proportional to
+    x^2 (1-x^2)^(7/2) -- the Plummer velocity modulus distribution."""
+    out = np.empty(n, dtype=np.float64)
+    filled = 0
+    while filled < n:
+        todo = n - filled
+        x = rng.uniform(0.0, 1.0, size=2 * todo + 16)
+        y = rng.uniform(0.0, 0.1, size=x.size)
+        ok = y < x * x * np.power(1.0 - x * x, 3.5)
+        take = x[ok][:todo]
+        out[filled:filled + take.size] = take
+        filled += take.size
+    return out
+
+
+def plummer(n: int, seed: int = 123, mfrac: float = MFRAC) -> BodySoA:
+    """Generate an ``n``-body Plummer sphere in N-body units.
+
+    Deterministic for a given ``seed``.  Total mass is 1; the returned
+    system is in its center-of-mass frame (positions and velocities).
+    """
+    if n < 1:
+        raise ValueError("need at least one body")
+    if not (0.0 < mfrac <= 1.0):
+        raise ValueError("mfrac must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+
+    # radii from the inverted cumulative mass profile
+    m = rng.uniform(0.0, mfrac, size=n)
+    # guard m=0 => r=0 (fine), and tiny numerical negatives under the sqrt
+    r = 1.0 / np.sqrt(np.maximum(np.power(m, -2.0 / 3.0) - 1.0, 1e-30))
+    pos = _pick_shell(rng, n, RSC * r)
+
+    # velocity modulus: v = sqrt(2) x (1 + r^2)^(-1/4)
+    x = _sample_velocity_fraction(rng, n)
+    v = math.sqrt(2.0) * x / np.power(1.0 + r * r, 0.25)
+    vel = _pick_shell(rng, n, VSC * v)
+
+    mass = np.full(n, 1.0 / n, dtype=np.float64)
+    bodies = BodySoA.from_arrays(pos, vel, mass)
+
+    # shift to the center-of-mass frame, as SPLASH-2 does
+    bodies.pos -= bodies.center_of_mass()
+    bodies.vel -= bodies.momentum() / bodies.total_mass()
+    return bodies
+
+
+def plummer_half_mass_radius() -> float:
+    """Analytic half-mass radius of the Plummer model in these units."""
+    a = RSC  # scale radius in model units before normalization is 1; scaled by RSC
+    return a / math.sqrt(2.0 ** (2.0 / 3.0) - 1.0)

@@ -1,0 +1,33 @@
+"""Octree substrate: cells, builds, center-of-mass, Morton ordering,
+costzones partitioning, the vectorized force-traversal engine, and
+invariant validation."""
+
+from .build import build_tree, insert, new_root
+from .cell import MAX_DEPTH, NSUB, Cell, Leaf
+from .cofm import compute_cofm, merge_cofm
+from .costzones import costzones, zone_costs
+from .morton import bodies_in_order, leaves_in_order, morton_key, morton_keys
+from .traverse import TraversalPolicy, gravity_traversal
+from .validate import TreeInvariantError, check_tree
+
+__all__ = [
+    "Cell",
+    "Leaf",
+    "MAX_DEPTH",
+    "NSUB",
+    "TraversalPolicy",
+    "TreeInvariantError",
+    "bodies_in_order",
+    "build_tree",
+    "check_tree",
+    "compute_cofm",
+    "costzones",
+    "gravity_traversal",
+    "insert",
+    "leaves_in_order",
+    "merge_cofm",
+    "morton_key",
+    "morton_keys",
+    "new_root",
+    "zone_costs",
+]

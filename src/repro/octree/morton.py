@@ -1,0 +1,68 @@
+"""Morton (Z-order) keys and tree-order leaf sequences.
+
+The subspace algorithm of section 6 allocates *consecutive leaves* of the
+global octree to threads; "consecutive" means the in-order traversal with
+children visited in octant order, which is exactly Morton order of the leaf
+subspaces.  Warren & Salmon's hashed octree (discussed in the paper's
+related work) keys cells the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from ..nbody.bbox import RootBox
+from .cell import Cell, Leaf
+
+
+def morton_key(pos: np.ndarray, box: RootBox, bits: int = 21) -> int:
+    """Interleaved-bit Morton key of one position inside a root box."""
+    half = box.rsize / 2.0
+    scale = (1 << bits) / box.rsize
+    out = 0
+    coords = []
+    for d in range(3):
+        x = int((pos[d] - (box.center[d] - half)) * scale)
+        x = min(max(x, 0), (1 << bits) - 1)
+        coords.append(x)
+    for b in range(bits):
+        for d in range(3):
+            out |= ((coords[d] >> b) & 1) << (3 * b + d)
+    return out
+
+
+def morton_keys(positions: np.ndarray, box: RootBox,
+                bits: int = 21) -> np.ndarray:
+    """Vectorized Morton keys for many positions."""
+    half = box.rsize / 2.0
+    scale = (1 << bits) / box.rsize
+    q = ((positions - (np.asarray(box.center) - half)) * scale).astype(np.int64)
+    q = np.clip(q, 0, (1 << bits) - 1)
+    out = np.zeros(len(positions), dtype=np.int64)
+    for b in range(bits):
+        for d in range(3):
+            out |= ((q[:, d] >> b) & 1) << (3 * b + d)
+    return out
+
+
+def leaves_in_order(root: Cell) -> Iterator[Leaf]:
+    """Yield leaves in tree (Morton) order."""
+    stack: List = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Leaf):
+            yield node
+            continue
+        for ch in reversed(node.children):
+            if ch is not None:
+                stack.append(ch)
+
+
+def bodies_in_order(root: Cell) -> np.ndarray:
+    """Body indices in tree order (the order costzones walks)."""
+    out: List[int] = []
+    for leaf in leaves_in_order(root):
+        out.extend(leaf.indices)
+    return np.asarray(out, dtype=np.int64)

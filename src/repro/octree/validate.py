@@ -1,0 +1,95 @@
+"""Octree invariant checking (test support).
+
+``check_tree`` verifies the structural invariants every build algorithm in
+the reproduction must preserve:
+
+1. every body index appears exactly once among the leaves,
+2. every body lies geometrically inside the cell chain holding it,
+3. child cells halve the parent side and sit at the correct offset,
+4. after c-of-m computation: cell mass equals the sum of contained body
+   masses, the cofm is the mass-weighted mean, ``nbodies`` counts bodies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .cell import Cell, Leaf
+
+
+class TreeInvariantError(AssertionError):
+    pass
+
+
+def check_tree(root: Cell, positions: np.ndarray,
+               masses: Optional[np.ndarray] = None,
+               expected_indices: Optional[np.ndarray] = None,
+               check_cofm: bool = False, rtol: float = 1e-9) -> None:
+    """Raise :class:`TreeInvariantError` on any violated invariant."""
+    seen: List[int] = []
+    # Bodies riding an exact octant boundary accumulate one rounding error
+    # per subdivision level in the child-center chain; allow that drift.
+    drift = (64 * np.finfo(np.float64).eps
+             * (float(np.abs(root.center).max()) + root.size))
+    stack = [root]
+    while stack:
+        cell = stack.pop()
+        for oct_idx, ch in enumerate(cell.children):
+            if ch is None:
+                continue
+            if isinstance(ch, Leaf):
+                for idx in ch.indices:
+                    seen.append(idx)
+                    p = positions[idx]
+                    half = cell.size / 2.0 * (1 + 1e-9) + drift
+                    if not np.all(np.abs(p - cell.center) <= half):
+                        raise TreeInvariantError(
+                            f"body {idx} outside its cell (center "
+                            f"{cell.center}, size {cell.size})"
+                        )
+            else:
+                expect_center = cell.child_center(oct_idx)
+                if not np.allclose(ch.center, expect_center, rtol=0,
+                                   atol=cell.size * 1e-9):
+                    raise TreeInvariantError(
+                        f"child center {ch.center} != expected "
+                        f"{expect_center}"
+                    )
+                if not np.isclose(ch.size, cell.size / 2.0, rtol=1e-12):
+                    raise TreeInvariantError(
+                        f"child size {ch.size} != half of {cell.size}"
+                    )
+                stack.append(ch)
+
+    seen_arr = np.sort(np.asarray(seen, dtype=np.int64))
+    if len(np.unique(seen_arr)) != len(seen_arr):
+        raise TreeInvariantError("a body appears in more than one leaf")
+    if expected_indices is not None:
+        exp = np.sort(np.asarray(expected_indices, dtype=np.int64))
+        if not np.array_equal(seen_arr, exp):
+            raise TreeInvariantError(
+                f"leaf bodies {len(seen_arr)} != expected {len(exp)}"
+            )
+
+    if check_cofm:
+        if masses is None:
+            raise ValueError("masses required for cofm check")
+        for cell in root.iter_cells():
+            idxs = [i for leaf in cell.iter_leaves() for i in leaf.indices]
+            if not idxs:
+                continue
+            m = masses[idxs].sum()
+            if not np.isclose(cell.mass, m, rtol=rtol):
+                raise TreeInvariantError(
+                    f"cell mass {cell.mass} != sum of bodies {m}"
+                )
+            cofm = (masses[idxs, None] * positions[idxs]).sum(0) / m
+            if not np.allclose(cell.cofm, cofm, rtol=1e-6,
+                               atol=cell.size * 1e-9):
+                raise TreeInvariantError("cell cofm mismatch")
+            if cell.nbodies != len(idxs):
+                raise TreeInvariantError(
+                    f"cell nbodies {cell.nbodies} != {len(idxs)}"
+                )

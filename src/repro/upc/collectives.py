@@ -1,0 +1,93 @@
+"""Costed collective operations over all UPC threads.
+
+A collective synchronizes every thread: it completes at
+``max(entry times) + cost`` and every clock jumps there.  The vector
+reduction used by the section-6 tree-building algorithm ("we use a collective
+vector reduction to compute global costs for all nodes at a level in one
+communication") is the headline member; Figures 10/11 of the paper compare
+tree building with one scalar reduction per subspace against one vector
+reduction per level.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .runtime import UpcRuntime
+
+
+def _sync_all(rt: UpcRuntime, extra: float, nic_per_node: float = 0.0,
+              key: Optional[str] = None) -> None:
+    t = float(rt.clock.max()) + extra
+    rt.clock[:] = t
+    if nic_per_node > 0.0:
+        rt._nic += nic_per_node
+    if key is not None:
+        rt.count(0, key)
+
+
+def barrier_all(rt: UpcRuntime) -> None:
+    """Explicit ``upc_barrier`` inside a phase."""
+    _sync_all(rt, rt.cost.barrier(rt.nthreads), key="barriers")
+
+
+def broadcast(rt: UpcRuntime, nbytes: float, root: int = 0) -> None:
+    """Broadcast ``nbytes`` from ``root`` to all threads."""
+    m = rt.machine
+    cost = rt.cost.broadcast(rt.nthreads, nbytes)
+    nic = (m.nic_gap + nbytes * m.byte_cost) if rt.nnodes > 1 else 0.0
+    _sync_all(rt, cost, nic, key="broadcasts")
+
+
+def allreduce_scalar(rt: UpcRuntime, key: str = "scalar_reductions") -> None:
+    """All-reduce of one scalar (8 bytes) across all threads."""
+    m = rt.machine
+    cost = rt.cost.reduce_vector(rt.nthreads, m.word_nbytes)
+    nic = m.nic_gap if rt.nnodes > 1 else 0.0
+    _sync_all(rt, cost, nic, key=key)
+
+
+def allreduce_vector(rt: UpcRuntime, nelems: int,
+                     elem_nbytes: int = 8,
+                     key: str = "vector_reductions") -> None:
+    """All-reduce a vector of ``nelems`` elements in ONE communication."""
+    m = rt.machine
+    nbytes = nelems * elem_nbytes
+    cost = rt.cost.reduce_vector(rt.nthreads, nbytes)
+    nic = (m.nic_gap + nbytes * m.byte_cost) if rt.nnodes > 1 else 0.0
+    _sync_all(rt, cost, nic, key=key)
+
+
+def alltoallv(rt: UpcRuntime, bytes_matrix: np.ndarray,
+              key: str = "alltoall") -> None:
+    """Personalized all-to-all: thread i sends ``bytes_matrix[i, j]`` to j.
+
+    Used by the section-6 algorithm to ship bodies to their new owners.
+    Every pairwise message charges sender CPU/wire time and NIC occupancy on
+    both endpoint nodes; receivers pay a receive overhead per message.
+    Completion is collective.
+    """
+    P = rt.nthreads
+    if bytes_matrix.shape != (P, P):
+        raise ValueError("bytes_matrix must be THREADS x THREADS")
+    m = rt.machine
+    recv_overhead = np.zeros(P, dtype=np.float64)
+    for i in range(P):
+        t = m.collective_base_cost
+        for j in range(P):
+            nb = float(bytes_matrix[i, j])
+            if j == i or nb <= 0.0:
+                continue
+            if m.shared_memory_path(i, j):
+                t += rt.cost.compute(m.shm_copy_overhead + nb * m.shm_byte_cost)
+            else:
+                t += m.cpu_overhead + nb * m.byte_cost
+                rt._add_nic(i, j, m.nic_gap + nb * m.byte_cost)
+                recv_overhead[j] += m.cpu_overhead
+            rt.count(i, "alltoall_bytes", nb)
+        rt.charge(i, t)
+    for j in range(P):
+        rt.charge(j, float(recv_overhead[j]))
+    _sync_all(rt, rt.cost.barrier(P), key=key)

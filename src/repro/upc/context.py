@@ -1,0 +1,75 @@
+"""``ThreadCtx``: the MYTHREAD-facing facade over the runtime.
+
+SPMD-style code (examples, some variants) prefers the UPC vocabulary --
+``MYTHREAD``, ``THREADS``, ``upc_memget`` -- over runtime method calls with
+an explicit thread id.  ``ThreadCtx`` binds a thread id once and forwards.
+"""
+
+from __future__ import annotations
+
+from .locks import UpcLock
+from .pointers import GlobalPtr, LocalPtr
+from .runtime import UpcRuntime
+
+
+class ThreadCtx:
+    """View of the runtime from one UPC thread."""
+
+    def __init__(self, rt: UpcRuntime, tid: int):
+        if not (0 <= tid < rt.nthreads):
+            raise ValueError(f"thread id {tid} out of range")
+        self.rt = rt
+        self.MYTHREAD = tid
+        self.THREADS = rt.nthreads
+
+    # -- memory ----------------------------------------------------------
+    def upc_alloc(self, nbytes: int, target=None) -> GlobalPtr:
+        """Allocate in *my* shared space (cells, cache copies)."""
+        return self.rt.heap.upc_alloc(self.MYTHREAD, nbytes, target)
+
+    def upc_threadof(self, ptr: GlobalPtr) -> int:
+        """Affinity query used by listing 2 to skip caching local cells."""
+        return ptr.thread
+
+    def cast_local(self, ptr: GlobalPtr) -> LocalPtr:
+        """Cast to a local pointer; raises PointerError if remote."""
+        return ptr.cast_local(self.MYTHREAD)
+
+    # -- charged accesses --------------------------------------------------
+    def deref(self, ptr: GlobalPtr, words: float = 1.0,
+              count: float = 1.0) -> None:
+        """Dereference a pointer-to-shared ``count`` times."""
+        self.rt.word_access(self.MYTHREAD, ptr.thread, words, count)
+
+    def read_shared_word(self, owner: int, words: float = 1.0,
+                         count: float = 1.0) -> None:
+        self.rt.word_access(self.MYTHREAD, owner, words, count)
+
+    def upc_memget(self, owner: int, nbytes: float) -> None:
+        self.rt.memget(self.MYTHREAD, owner, nbytes)
+
+    def upc_memput(self, owner: int, nbytes: float) -> None:
+        self.rt.memput(self.MYTHREAD, owner, nbytes)
+
+    def upc_memget_ilist(self, owner: int, nelems: int,
+                         elem_nbytes: int) -> None:
+        self.rt.memget_ilist(self.MYTHREAD, owner, nelems, elem_nbytes)
+
+    # -- synchronization ---------------------------------------------------
+    def upc_lock(self, lk: UpcLock) -> None:
+        self.rt.lock(self.MYTHREAD, lk)
+
+    def upc_unlock(self, lk: UpcLock) -> None:
+        self.rt.unlock(self.MYTHREAD, lk)
+
+    # -- local work ----------------------------------------------------------
+    def compute(self, seconds: float) -> None:
+        self.rt.charge_compute(self.MYTHREAD, seconds)
+
+    def count(self, key: str, n: float = 1) -> None:
+        self.rt.count(self.MYTHREAD, key, n)
+
+
+def contexts(rt: UpcRuntime) -> "list[ThreadCtx]":
+    """One context per UPC thread, in thread order."""
+    return [ThreadCtx(rt, t) for t in range(rt.nthreads)]

@@ -1,0 +1,63 @@
+"""``upc_lock`` simulation with contention accounting.
+
+Contention is modeled with a *free-time* discipline over the virtual clocks:
+a lock remembers the virtual time at which its current critical section ends;
+an acquire that arrives earlier waits until then.  Because SPMD threads are
+executed one after another within a phase (all starting from the same
+post-barrier clock), a hot lock naturally serializes the threads that hammer
+it -- the mechanism behind the tree-building bottleneck the paper attributes
+to "lock contention [that] increases with the number of threads" (section
+5.4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class UpcLock:
+    """One global lock with an affinity thread (its *home*)."""
+
+    __slots__ = ("home", "free_at", "acquires", "contended_acquires",
+                 "total_wait", "_held_by")
+
+    def __init__(self, home: int = 0):
+        self.home = home
+        self.free_at = 0.0
+        self.acquires = 0
+        self.contended_acquires = 0
+        self.total_wait = 0.0
+        self._held_by: Optional[int] = None
+
+    def acquire_at(self, tid: int, now: float, overhead: float) -> float:
+        """Acquire at virtual time ``now``; returns the time the lock is held.
+
+        ``overhead`` is the uncontended acquire cost (from the cost model);
+        any additional delay is contention wait.
+        """
+        self.acquires += 1
+        grant = max(now, self.free_at) + overhead
+        wait = grant - now - overhead
+        if wait > 1e-12:  # ignore float noise; real waits are >= ns
+            self.contended_acquires += 1
+            self.total_wait += wait
+        self._held_by = tid
+        # Until released, any other acquire must wait at least to `grant`.
+        self.free_at = max(self.free_at, grant)
+        return grant
+
+    def release_at(self, tid: int, now: float, overhead: float) -> float:
+        """Release at time ``now``; returns completion time."""
+        if self._held_by != tid:
+            raise RuntimeError(
+                f"thread {tid} released lock held by {self._held_by}"
+            )
+        done = now + overhead
+        self.free_at = max(self.free_at, done)
+        self._held_by = None
+        return done
+
+    def reset_clock(self) -> None:
+        """Forget timing state between phases (counters are kept)."""
+        self.free_at = 0.0
+        self._held_by = None

@@ -1,0 +1,165 @@
+"""Machine description for the simulated PGAS (UPC) runtime.
+
+The paper ran on an IBM Power5 cluster (118 nodes x 16 cores, GASNet on the
+LAPI conduit).  We model such a machine with a small set of cost constants in
+the spirit of the LogGP family:
+
+* fine-grained remote accesses pay a round-trip *latency*,
+* bulk transfers additionally pay a per-byte cost (1/bandwidth),
+* every message occupies the network adapter of both endpoint *nodes* for a
+  *gap* plus the per-byte time (this is what makes hot spots -- e.g. shared
+  scalars living on thread 0 -- serialize, the key mechanism behind the
+  baseline's plateau in Table 2 of the paper),
+* issuing a message costs the calling thread a small CPU *overhead*.
+
+Two execution modes mirror the paper's ``-pthreads`` discussion (section 4.1
+and Tables 8/9):
+
+``process``
+    one OS process per UPC thread.  Accesses between threads on the *same*
+    node still go through the communication stack (a loopback path) and
+    occupy the node's adapter -- this reproduces the paper's anecdote that
+    16 processes on one node were catastrophically slower than 16 pthreads.
+
+``pthread``
+    threads on the same node share memory: intra-node "remote" accesses are
+    cheap loads/memcpys and never touch the adapter.  In exchange, all
+    computation is multiplied by ``pthread_compute_factor`` (the paper
+    measured processes ~1.95x faster than pthreads at one thread and blamed
+    the GASNet/pthreads interaction; we model it as a constant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Cost constants and topology of the simulated machine.
+
+    All times are in seconds.  Defaults are loosely calibrated to a
+    2011-era InfiniBand/LAPI-class cluster; the reproduction compares
+    *shapes* (ratios, crossovers) against the paper, never absolute seconds.
+    """
+
+    #: UPC threads mapped per node (block mapping: thread t on node t // tpn).
+    threads_per_node: int = 1
+    #: "process" or "pthread" (see module docstring).
+    mode: str = "process"
+
+    # -- computation ------------------------------------------------------
+    #: one body/cell gravity interaction (compute only, local data).
+    interaction_cost: float = 150e-9
+    #: extra cost of dereferencing a pointer-to-shared whose target is local
+    #: (UPC global pointers carry thread/phase info; section 2 of the paper).
+    #: Calibrated so the 1-thread force gap between the baseline and the
+    #: cast-to-local cached code is ~1.4-2x, as in Tables 4 vs 5.
+    global_deref_overhead: float = 10e-9
+    #: a plain local word access (private pointer).
+    local_word_cost: float = 2e-9
+    #: factor applied to *compute* charges in pthread mode (Tables 8 vs 9).
+    pthread_compute_factor: float = 1.95
+
+    # -- network (inter-node) --------------------------------------------
+    #: blocking round-trip for a fine-grained remote read/write.
+    remote_rtt: float = 8e-6
+    #: per-byte transfer cost (1/bandwidth), about 1 GB/s.
+    byte_cost: float = 1.0e-9
+    #: adapter occupancy per message at each endpoint node.
+    nic_gap: float = 1.6e-6
+    #: CPU overhead on the issuing thread per message (send or receive).
+    cpu_overhead: float = 0.4e-6
+    #: per-element cost of indexed gathers (upc_memget_ilist and friends).
+    gather_element_cost: float = 0.2e-6
+
+    # -- intra-node -------------------------------------------------------
+    #: round-trip of a loopback message in process mode (same node).
+    loopback_rtt: float = 4.0e-6
+    #: shared-memory word access between pthreads on a node.
+    shm_word_cost: float = 120e-9
+    #: shared-memory per-byte copy cost (memcpy bandwidth ~5 GB/s).
+    shm_byte_cost: float = 0.2e-9
+    #: fixed cost of an intra-node bulk copy.
+    shm_copy_overhead: float = 0.3e-6
+
+    # -- synchronization ---------------------------------------------------
+    #: per-round cost of a barrier/collective tree stage (inter-node).
+    collective_stage_cost: float = 2.0e-6
+    #: fixed cost of entering a collective.
+    collective_base_cost: float = 1.0e-6
+    #: lock acquire is a remote round trip to the lock's home + bookkeeping.
+    lock_overhead: float = 1.0e-6
+
+    # -- struct sizes (bytes) used for transfer-size accounting ------------
+    cell_nbytes: int = 216
+    body_nbytes: int = 120
+    word_nbytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.threads_per_node < 1:
+            raise ValueError("threads_per_node must be >= 1")
+        if self.mode not in ("process", "pthread"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        for name in (
+            "interaction_cost",
+            "global_deref_overhead",
+            "local_word_cost",
+            "remote_rtt",
+            "byte_cost",
+            "nic_gap",
+            "cpu_overhead",
+            "gather_element_cost",
+            "loopback_rtt",
+            "shm_word_cost",
+            "shm_byte_cost",
+            "shm_copy_overhead",
+            "collective_stage_cost",
+            "collective_base_cost",
+            "lock_overhead",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.pthread_compute_factor < 1.0:
+            raise ValueError("pthread_compute_factor must be >= 1")
+
+    # -- topology helpers ---------------------------------------------------
+    def node_of(self, tid: int) -> int:
+        """Node index hosting UPC thread ``tid`` (block mapping)."""
+        return tid // self.threads_per_node
+
+    def same_node(self, tid_a: int, tid_b: int) -> bool:
+        """True when both threads live on the same node."""
+        return self.node_of(tid_a) == self.node_of(tid_b)
+
+    def nodes_for(self, nthreads: int) -> int:
+        """Number of nodes needed to host ``nthreads`` threads."""
+        return (nthreads + self.threads_per_node - 1) // self.threads_per_node
+
+    def shared_memory_path(self, tid_a: int, tid_b: int) -> bool:
+        """True when accesses between the two threads bypass the network.
+
+        Only pthread mode gives same-node threads a shared-memory fast path;
+        in process mode even same-node traffic crosses the adapter (section
+        4.1 of the paper).
+        """
+        return self.mode == "pthread" and self.same_node(tid_a, tid_b)
+
+    def with_(self, **kw) -> "MachineConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kw)
+
+
+#: Default machine used throughout tests/benches: one process per node,
+#: exactly the configuration of sections 4 and 5 of the paper.
+DEFAULT_MACHINE = MachineConfig()
+
+
+def paper_section5_machine() -> MachineConfig:
+    """Machine used for Tables 2-7: 1 process/node, no threading."""
+    return MachineConfig(threads_per_node=1, mode="process")
+
+
+def paper_section6_machine(threads_per_node: int = 16) -> MachineConfig:
+    """Machine used for the section-6 scaling study: pthreads per node."""
+    return MachineConfig(threads_per_node=threads_per_node, mode="pthread")

@@ -1,0 +1,74 @@
+"""Global (pointer-to-shared) and local pointer semantics.
+
+UPC distinguishes three pointer kinds (section 2 of the paper); the two that
+matter for performance are *pointer-to-shared* (carries affinity, expensive
+to dereference) and plain C pointers (cheap, but only legal for local data).
+We model the legality rules so the optimization code can express the paper's
+"pointer casting" transformations and the tests can prove that illegal casts
+are rejected.
+
+These objects are used on scalar control paths and in tests; hot loops deal
+in affinity integers directly for speed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class PointerError(RuntimeError):
+    """Illegal pointer operation (e.g. casting a remote pointer to local)."""
+
+
+class GlobalPtr:
+    """A pointer-to-shared: (affinity thread, referenced object).
+
+    ``target`` is the Python object standing in for the shared datum; the
+    simulation keeps one canonical copy and meters access through the
+    runtime, so the pointer itself is just typed metadata.
+    """
+
+    __slots__ = ("thread", "target", "nbytes")
+
+    def __init__(self, thread: int, target: Any, nbytes: int = 8):
+        if thread < 0:
+            raise PointerError("affinity thread must be non-negative")
+        self.thread = thread
+        self.target = target
+        self.nbytes = nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GlobalPtr(thread={self.thread}, target={self.target!r})"
+
+    def is_local_to(self, tid: int) -> bool:
+        """True when this pointer's affinity is thread ``tid``."""
+        return self.thread == tid
+
+    def cast_local(self, tid: int) -> "LocalPtr":
+        """Cast to a plain local pointer; legal only from the home thread.
+
+        This models the paper's key enabling observation: once data has been
+        redistributed or cached locally, pointers to it "can be cast to
+        local, further improving performance" (section 5.2).
+        """
+        if not self.is_local_to(tid):
+            raise PointerError(
+                f"thread {tid} cannot cast pointer with affinity "
+                f"{self.thread} to local"
+            )
+        return LocalPtr(self.target)
+
+
+class LocalPtr:
+    """A plain C pointer: dereference is cheap, no affinity checks."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target: Any):
+        self.target = target
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LocalPtr({self.target!r})"
+
+
+NULL: Optional[GlobalPtr] = None

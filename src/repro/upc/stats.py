@@ -1,0 +1,106 @@
+"""Counters collected while the simulated program runs.
+
+Everything here is *measured from the execution* (message counts, bytes,
+cache misses, lock acquisitions, ...), not modeled -- the tests use these to
+verify the paper's claims that do not depend on the cost model at all, e.g.
+"~2% of the bodies migrate per time-step" (section 5.2) or ">95% of
+aggregated requests have a single source thread" (section 5.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+
+class Counters:
+    """Per-thread named counters for one phase."""
+
+    def __init__(self, nthreads: int):
+        self.nthreads = nthreads
+        self._data: Dict[str, np.ndarray] = {}
+
+    def add(self, tid: int, key: str, n: float = 1) -> None:
+        arr = self._data.get(key)
+        if arr is None:
+            arr = np.zeros(self.nthreads, dtype=np.float64)
+            self._data[key] = arr
+        arr[tid] += n
+
+    def total(self, key: str) -> float:
+        arr = self._data.get(key)
+        return float(arr.sum()) if arr is not None else 0.0
+
+    def per_thread(self, key: str) -> np.ndarray:
+        arr = self._data.get(key)
+        if arr is None:
+            return np.zeros(self.nthreads, dtype=np.float64)
+        return arr.copy()
+
+    def keys(self) -> List[str]:
+        return sorted(self._data)
+
+    def merged_into(self, other: "Counters") -> None:
+        for key, arr in self._data.items():
+            tgt = other._data.setdefault(
+                key, np.zeros(other.nthreads, dtype=np.float64)
+            )
+            tgt += arr
+
+
+@dataclass
+class PhaseRecord:
+    """Timing + counters for one completed phase of one time-step."""
+
+    name: str
+    step: int
+    duration: float
+    thread_times: np.ndarray
+    nic_times: np.ndarray
+    counters: Counters
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean of per-thread busy time (1.0 = perfectly balanced)."""
+        mean = float(self.thread_times.mean())
+        if mean == 0:
+            return 1.0
+        return float(self.thread_times.max()) / mean
+
+
+class StatsLog:
+    """Chronological log of phase records for a whole run."""
+
+    def __init__(self) -> None:
+        self.records: List[PhaseRecord] = []
+
+    def append(self, rec: PhaseRecord) -> None:
+        self.records.append(rec)
+
+    def phases(self, name: str, steps: "slice | None" = None) -> List[PhaseRecord]:
+        recs = [r for r in self.records if r.name == name]
+        return recs if steps is None else recs[steps]
+
+    def phase_time(self, name: str, steps: "slice | None" = None) -> float:
+        return sum(r.duration for r in self.phases(name, steps))
+
+    def total_time(self, steps: "slice | None" = None) -> float:
+        if steps is None:
+            return sum(r.duration for r in self.records)
+        names = {r.name for r in self.records}
+        return sum(self.phase_time(n, steps) for n in names)
+
+    def counter_total(self, key: str, phase: "str | None" = None) -> float:
+        tot = 0.0
+        for r in self.records:
+            if phase is None or r.name == phase:
+                tot += r.counters.total(key)
+        return tot
+
+    def steps(self) -> List[int]:
+        return sorted({r.step for r in self.records})
+
+    def __iter__(self) -> Iterator[PhaseRecord]:
+        return iter(self.records)

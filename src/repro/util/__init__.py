@@ -1,0 +1,5 @@
+"""Small shared utilities (table rendering, formatting)."""
+
+from .tables import format_markdown_table, format_seconds, write_csv
+
+__all__ = ["format_markdown_table", "format_seconds", "write_csv"]

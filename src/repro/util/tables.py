@@ -1,0 +1,50 @@
+"""Plain-text/markdown table rendering and CSV output for experiments."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Sequence
+
+
+def format_seconds(x: float) -> str:
+    """Compact fixed-ish formatting across the wide dynamic range of the
+    simulated times (microseconds to kiloseconds)."""
+    ax = abs(x)
+    if x == 0:
+        return "0"
+    if ax >= 100:
+        return f"{x:.0f}"
+    if ax >= 1:
+        return f"{x:.2f}"
+    if ax >= 1e-3:
+        return f"{x:.4f}"
+    return f"{x:.2e}"
+
+
+def format_markdown_table(headers: Sequence[str],
+                          rows: Iterable[Sequence[object]]) -> str:
+    """Render a GitHub-flavored markdown table."""
+    def fmt(v: object) -> str:
+        if isinstance(v, float):
+            return format_seconds(v)
+        return str(v)
+
+    out = io.StringIO()
+    out.write("| " + " | ".join(headers) + " |\n")
+    out.write("|" + "|".join("---" for _ in headers) + "|\n")
+    for row in rows:
+        out.write("| " + " | ".join(fmt(v) for v in row) + " |\n")
+    return out.getvalue()
+
+
+def write_csv(path: "str | Path", headers: Sequence[str],
+              rows: Iterable[Sequence[object]]) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(headers)
+        for row in rows:
+            w.writerow(row)

@@ -1,0 +1,89 @@
+"""BarnesHutSimulation / RunResult driver behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.app import BarnesHutSimulation, RunResult, make_bodies, run_variant
+from repro.core.config import BHConfig
+from repro.core.phases import FORCE
+from repro.core.variants.base import Baseline
+from repro.upc.params import MachineConfig
+
+
+class TestMakeBodies:
+    def test_plummer(self):
+        b = make_bodies(BHConfig(nbodies=100, distribution="plummer"))
+        assert len(b) == 100
+
+    def test_uniform(self):
+        b = make_bodies(BHConfig(nbodies=64, distribution="uniform"))
+        assert np.all(np.linalg.norm(b.pos, axis=1) <= 1.0 + 1e-12)
+
+    def test_collision(self):
+        b = make_bodies(BHConfig(nbodies=64, distribution="collision"))
+        assert len(b) == 64
+
+    def test_seed_controls_ics(self):
+        a = make_bodies(BHConfig(nbodies=50, seed=1))
+        b = make_bodies(BHConfig(nbodies=50, seed=2))
+        assert not np.allclose(a.pos, b.pos)
+
+
+class TestSimulation:
+    def test_variant_by_class(self, tiny_cfg):
+        sim = BarnesHutSimulation(tiny_cfg, 4, variant=Baseline)
+        assert sim.variant.name == "baseline"
+
+    def test_variant_by_name(self, tiny_cfg):
+        sim = BarnesHutSimulation(tiny_cfg, 4, variant="cache")
+        assert sim.variant.name == "cache"
+
+    def test_external_bodies_not_mutated(self, tiny_cfg, bodies256):
+        cfg = tiny_cfg.with_(nbodies=256)
+        before = bodies256.pos.copy()
+        run_variant("baseline", cfg, 4, bodies=bodies256)
+        assert np.array_equal(bodies256.pos, before)
+
+    def test_run_result_fields(self, tiny_cfg):
+        res = run_variant("async", tiny_cfg, 4)
+        assert isinstance(res, RunResult)
+        assert res.variant == "async"
+        assert res.nthreads == 4
+        assert res.total_time > 0
+        assert res.counter("interactions", FORCE) > 0
+        assert "migration_fractions" in res.variant_stats
+        assert "gather_source_fractions" in res.variant_stats
+
+    def test_machine_passed_through(self, tiny_cfg):
+        m = MachineConfig(threads_per_node=2, mode="pthread")
+        res = run_variant("baseline", tiny_cfg, 4, machine=m)
+        assert res.machine is m
+
+    def test_steps_executed(self, tiny_cfg):
+        cfg = tiny_cfg.with_(nsteps=3, warmup_steps=0)
+        res = run_variant("baseline", cfg, 2)
+        assert res.log.steps() == [0, 1, 2]
+
+    def test_single_body_single_thread(self):
+        cfg = BHConfig(nbodies=1, nsteps=2, warmup_steps=1)
+        res = run_variant("baseline", cfg, 1)
+        assert np.isfinite(res.total_time)
+        assert np.all(np.isfinite(res.bodies.pos))
+
+    def test_more_threads_than_bodies(self):
+        cfg = BHConfig(nbodies=8, nsteps=2, warmup_steps=1)
+        for name in ("baseline", "cache", "async", "subspace", "mpi-let"):
+            res = run_variant(name, cfg, 16)
+            assert np.all(np.isfinite(res.bodies.pos)), name
+
+    def test_uniform_distribution_runs_all_variants(self):
+        cfg = BHConfig(nbodies=128, nsteps=2, warmup_steps=1,
+                       distribution="uniform")
+        ref = None
+        for name in ("baseline", "localbuild", "subspace"):
+            res = run_variant(name, cfg, 4)
+            if ref is None:
+                ref = res.bodies.pos
+            else:
+                assert np.allclose(res.bodies.pos, ref, rtol=1e-9,
+                                   atol=1e-9), name

@@ -1,0 +1,118 @@
+"""BHConfig validation and the redistribution machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BHConfig
+from repro.core.redistribution import RedistributionState, redistribute
+from repro.upc.params import MachineConfig
+from repro.upc.runtime import UpcRuntime
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = BHConfig()
+        assert cfg.theta == 1.0
+        assert cfg.dt == 0.025
+        assert cfg.nsteps == 4 and cfg.warmup_steps == 2
+        assert cfg.n1 == cfg.n2 == cfg.n3 == 4
+        assert cfg.alpha == pytest.approx(2.0 / 3.0)
+
+    @pytest.mark.parametrize("kw", [
+        {"nbodies": 0},
+        {"theta": 0.0},
+        {"eps": -0.1},
+        {"nsteps": 0},
+        {"warmup_steps": 4},  # == nsteps
+        {"n1": 0},
+        {"n3": 0},
+        {"alpha": 0.0},
+        {"buffer_factor": 0.5},
+        {"distribution": "gaussian"},
+    ])
+    def test_rejects_invalid(self, kw):
+        with pytest.raises(ValueError):
+            BHConfig(**kw)
+
+    def test_measured_steps(self):
+        assert BHConfig(nsteps=4, warmup_steps=1).measured_steps == 3
+
+    def test_with_copies(self):
+        cfg = BHConfig()
+        cfg2 = cfg.with_(theta=0.5)
+        assert cfg2.theta == 0.5 and cfg.theta == 1.0
+
+
+class TestRedistributionState:
+    def test_capacity_from_factor(self):
+        st = RedistributionState.create(4, 100, 2.0)
+        assert list(st.capacity) == [50, 50, 50, 50]
+
+    def test_seed_counts_stored(self):
+        st = RedistributionState.create(2, 10, 2.0)
+        st.seed(np.array([0, 0, 0, 1, 1, 1, 1, 1, 1, 1], dtype=np.int32))
+        assert list(st.fill) == [3, 7]
+
+
+class TestRedistribute:
+    def _setup(self, P=4, n=40):
+        rt = UpcRuntime(P, MachineConfig())
+        st = RedistributionState.create(P, n, 2.0)
+        store = np.repeat(np.arange(P, dtype=np.int32), n // P)
+        st.seed(store)
+        return rt, st, store
+
+    def test_no_migration_when_assign_equals_store(self):
+        rt, st, store = self._setup()
+        assign = store.copy()
+        with rt.phase("r"):
+            frac = redistribute(rt, st, assign, store)
+        assert frac == 0.0
+        assert st.copies == 0
+
+    def test_migration_updates_store(self):
+        rt, st, store = self._setup()
+        assign = store.copy()
+        assign[:5] = 3  # move 5 of thread 0's bodies to thread 3
+        with rt.phase("r"):
+            frac = redistribute(rt, st, assign, store)
+        assert frac == pytest.approx(5 / 40)
+        assert np.array_equal(store, assign)
+
+    def test_gather_per_source(self):
+        rt, st, store = self._setup()
+        assign = store.copy()
+        assign[store == 0] = 1  # thread 1 pulls from a single source
+        with rt.phase("r"):
+            redistribute(rt, st, assign, store)
+        rec = rt.log.records[-1]
+        assert rec.counters.total("redistribution_gathers") == 1
+        assert rec.counters.total("bodies_migrated_in") == 10
+
+    def test_buffer_copy_when_overflow(self):
+        rt = UpcRuntime(2, MachineConfig())
+        st = RedistributionState.create(2, 20, 1.05)  # tight buffers
+        store = np.repeat(np.arange(2, dtype=np.int32), 10)
+        st.seed(store)
+        assign = np.zeros(20, dtype=np.int32)  # everything to thread 0
+        with rt.phase("r"):
+            redistribute(rt, st, assign, store)
+        assert st.copies >= 1
+
+    def test_no_copy_with_roomy_buffer(self):
+        rt, st, store = self._setup()
+        assign = store.copy()
+        assign[0] = 1
+        with rt.phase("r"):
+            redistribute(rt, st, assign, store)
+        assert st.copies == 0
+
+    def test_migration_history_tracked(self):
+        rt, st, store = self._setup()
+        assign = store.copy()
+        assign[:2] = 1
+        with rt.phase("r"):
+            redistribute(rt, st, assign, store)
+        with rt.phase("r"):
+            redistribute(rt, st, assign, store)
+        assert st.migrated_per_step == [2, 0]

@@ -1,0 +1,187 @@
+"""Subspace tree building (section 6): splitting, allocation, exchange."""
+
+import numpy as np
+import pytest
+
+from repro.core.app import BarnesHutSimulation
+from repro.core.config import BHConfig
+from repro.core.subspace import (
+    allocate_leaves,
+    exchange_bodies,
+    split_subspaces,
+)
+from repro.nbody.bbox import compute_root
+from repro.nbody.plummer import plummer
+from repro.upc.memory import SharedArray
+from repro.upc.params import MachineConfig
+from repro.upc.runtime import UpcRuntime
+
+
+@pytest.fixture()
+def split_setup():
+    bodies = plummer(400, seed=21)
+    P = 8
+    rt = UpcRuntime(P, MachineConfig())
+    store = SharedArray.block_distributed(P, 400)
+    cost = np.ones(400)
+    box = compute_root(bodies.pos)
+    with rt.phase("s"):
+        tree, body_ss = split_subspaces(rt, bodies.pos, cost, store, box,
+                                        alpha=2 / 3,
+                                        vector_reduction=True)
+    return rt, bodies, tree, body_ss, cost, store
+
+
+class TestSplit:
+    def test_no_leaf_exceeds_tau(self, split_setup):
+        rt, bodies, tree, body_ss, cost, store = split_setup
+        tau = (2 / 3) * cost.sum() / rt.nthreads
+        for leaf in tree.leaves:
+            c = tree.global_cost[leaf]
+            if tree.global_count[leaf] > 1:
+                assert c <= tau + 1e-9
+
+    def test_bodies_land_in_leaves(self, split_setup):
+        rt, bodies, tree, body_ss, cost, store = split_setup
+        leaf_set = set(int(l) for l in tree.leaves)
+        assert all(int(s) in leaf_set for s in body_ss)
+
+    def test_costs_counts_consistent(self, split_setup):
+        rt, bodies, tree, body_ss, cost, store = split_setup
+        assert tree.global_cost[0] == pytest.approx(cost.sum())
+        assert tree.global_count[0] == 400
+        counts = np.bincount(body_ss, minlength=tree.n_nodes)
+        for leaf in tree.leaves:
+            assert counts[leaf] == tree.global_count[leaf]
+
+    def test_geometry_halves(self, split_setup):
+        rt, bodies, tree, body_ss, cost, store = split_setup
+        for node in range(tree.n_nodes):
+            par = tree.parent[node]
+            if par >= 0:
+                assert tree.sizes[node] == pytest.approx(
+                    tree.sizes[par] / 2.0)
+
+    def test_bodies_inside_their_subspace(self, split_setup):
+        rt, bodies, tree, body_ss, cost, store = split_setup
+        ctr = tree.centers[body_ss]
+        half = tree.sizes[body_ss][:, None] / 2.0 * (1 + 1e-9)
+        assert np.all(np.abs(bodies.pos - ctr) <= half)
+
+    def test_vector_reduction_counts_levels(self):
+        bodies = plummer(400, seed=22)
+        P = 8
+        rt = UpcRuntime(P, MachineConfig())
+        store = SharedArray.block_distributed(P, 400)
+        box = compute_root(bodies.pos)
+        with rt.phase("s"):
+            tree, _ = split_subspaces(rt, bodies.pos, np.ones(400), store,
+                                      box, 2 / 3, vector_reduction=True)
+        rec = rt.log.records[-1]
+        assert rec.counters.total("vector_reductions") == tree.n_levels
+        assert rec.counters.total("scalar_reductions") == 0
+
+    def test_scalar_reduction_counts_subspaces(self):
+        bodies = plummer(400, seed=22)
+        P = 8
+        rt = UpcRuntime(P, MachineConfig())
+        store = SharedArray.block_distributed(P, 400)
+        box = compute_root(bodies.pos)
+        with rt.phase("s"):
+            tree, _ = split_subspaces(rt, bodies.pos, np.ones(400), store,
+                                      box, 2 / 3, vector_reduction=False)
+        rec = rt.log.records[-1]
+        examined = sum(len(lvl) for lvl in tree.levels)
+        assert rec.counters.total("scalar_reductions") == examined
+        assert examined > tree.n_levels
+
+    def test_smaller_alpha_more_subspaces(self):
+        bodies = plummer(400, seed=23)
+        box = compute_root(bodies.pos)
+        store = SharedArray.block_distributed(8, 400)
+        counts = []
+        for alpha in (2.0, 2 / 3, 0.2):
+            rt = UpcRuntime(8, MachineConfig())
+            with rt.phase("s"):
+                tree, _ = split_subspaces(rt, bodies.pos, np.ones(400),
+                                          store, box, alpha, True)
+            counts.append(tree.n_nodes)
+        assert counts[0] <= counts[1] <= counts[2]
+
+    def test_leaves_in_morton_order(self, split_setup):
+        rt, bodies, tree, body_ss, cost, store = split_setup
+        leaves = tree.leaves
+        # octant-ordered DFS: leaf sequence visits each parent's children
+        # in increasing octant order
+        seen_parent_oct = {}
+        for leaf in leaves:
+            par = int(tree.parent[leaf])
+            o = int(tree.oct[leaf])
+            last = seen_parent_oct.get(par, -1)
+            assert o > last
+            seen_parent_oct[par] = o
+
+
+class TestAllocation:
+    def test_load_balance_bound(self, split_setup):
+        """The paper's bound: <= (1 + alpha) * Cost / THREADS per thread."""
+        rt, bodies, tree, body_ss, cost, store = split_setup
+        owner = allocate_leaves(rt, tree)
+        leaf_costs = tree.global_cost[tree.leaves]
+        per_thread = np.bincount(owner, weights=leaf_costs,
+                                 minlength=rt.nthreads)
+        bound = (1 + 2 / 3) * cost.sum() / rt.nthreads
+        assert per_thread.max() <= bound + 1e-9
+
+    def test_owners_contiguous(self, split_setup):
+        rt, bodies, tree, body_ss, cost, store = split_setup
+        owner = allocate_leaves(rt, tree)
+        assert np.all(np.diff(owner) >= 0)
+
+    def test_single_thread_owns_all(self):
+        bodies = plummer(100, seed=30)
+        rt = UpcRuntime(1, MachineConfig())
+        store = np.zeros(100, dtype=np.int32)
+        box = compute_root(bodies.pos)
+        with rt.phase("s"):
+            tree, _ = split_subspaces(rt, bodies.pos, np.ones(100), store,
+                                      box, 2 / 3, True)
+            owner = allocate_leaves(rt, tree)
+        assert np.all(owner == 0)
+
+
+class TestExchange:
+    def test_store_follows_owner(self, split_setup):
+        rt, bodies, tree, body_ss, cost, store = split_setup
+        owner = allocate_leaves(rt, tree)
+        assign = store.copy()
+        with rt.phase("x"):
+            frac = exchange_bodies(rt, tree, body_ss, owner, assign, store)
+        assert np.array_equal(assign, store)
+        owner_of_node = np.zeros(tree.n_nodes, dtype=np.int32)
+        owner_of_node[tree.leaves] = owner
+        assert np.array_equal(assign, owner_of_node[body_ss])
+        assert 0.0 <= frac <= 1.0
+
+    def test_second_exchange_is_noop(self, split_setup):
+        rt, bodies, tree, body_ss, cost, store = split_setup
+        owner = allocate_leaves(rt, tree)
+        assign = store.copy()
+        with rt.phase("x"):
+            exchange_bodies(rt, tree, body_ss, owner, assign, store)
+        with rt.phase("x2"):
+            frac = exchange_bodies(rt, tree, body_ss, owner, assign, store)
+        assert frac == 0.0
+
+
+class TestEndToEnd:
+    def test_variant_tree_matches_bodies(self):
+        cfg = BHConfig(nbodies=300, nsteps=2, warmup_steps=1, seed=5)
+        sim = BarnesHutSimulation(cfg, 8, variant="subspace")
+        res = sim.run()
+        # every body advanced (positions changed from ICs)
+        ics = plummer(300, seed=5)
+        assert not np.allclose(res.bodies.pos, ics.pos)
+        # subspace stats recorded per step
+        assert len(res.variant_stats["subspace_counts"]) == 2
+        assert all(c >= 1 for c in res.variant_stats["subspace_counts"])

@@ -1,0 +1,41 @@
+"""Weak/strong scaling figure runners at test scale (fig7/12/13 paths)."""
+
+import pytest
+
+from repro.experiments import Scale
+from repro.experiments.figures import run_fig7, run_fig12, run_fig13
+
+TINY = Scale(name="tiny", nbodies=512, nsteps=2, warmup_steps=1,
+             thread_counts=[1, 4], weak_bodies_per_thread=48,
+             weak_thread_counts=[4, 8, 16])
+
+
+class TestWeakScalingRunners:
+    def test_fig7_series_complete(self):
+        res = run_fig7(TINY)
+        assert res.x == [4.0, 8.0, 16.0]
+        for name in ("treebuild", "force", "total"):
+            assert len(res.series[name]) == 3
+            assert all(v >= 0 for v in res.series[name])
+
+    def test_fig12_has_all_packings(self):
+        res = run_fig12(TINY)
+        assert set(res.series) == {
+            "1 thread/node", "4 threads/node", "8 threads/node",
+            "16 threads/node", "1 process/node"}
+        # process beats pthread at same topology on every point
+        for a, b in zip(res.series["1 process/node"],
+                        res.series["1 thread/node"]):
+            assert a < b
+
+    def test_fig13_speedup_and_bodies_per_thread(self):
+        res = run_fig13(TINY, thread_counts=[1, 2, 8, 64])
+        assert res.series["speedup"][0] == pytest.approx(1.0)
+        assert res.series["bodies_per_thread"] == [512, 256, 64, 8]
+        # totals positive and finite
+        assert all(t > 0 for t in res.series["total"])
+
+    def test_fig13_efficiency_degrades_when_starved(self):
+        res = run_fig13(TINY, thread_counts=[1, 4, 128])
+        eff = [s / x for s, x in zip(res.series["speedup"], res.x)]
+        assert eff[-1] < eff[1]

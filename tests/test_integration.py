@@ -1,0 +1,110 @@
+"""End-to-end integration: the paper's story at a size big enough for the
+shapes to emerge (a scaled-down version of the EXPERIMENTS.md campaign)."""
+
+import numpy as np
+import pytest
+
+from repro.core.app import run_variant
+from repro.core.config import BHConfig
+from repro.experiments import Scale, run_strong_table
+from repro.experiments.shapes import (
+    check_cache,
+    check_cumulative,
+    check_replicate,
+    check_table2,
+)
+from repro.upc.params import MachineConfig
+
+SCALE = Scale(name="integration", nbodies=2048, nsteps=3, warmup_steps=1,
+              thread_counts=[1, 2, 16, 64], weak_bodies_per_thread=64,
+              weak_thread_counts=[4, 16, 64])
+
+
+@pytest.fixture(scope="module")
+def t_base():
+    return run_strong_table("table2", "baseline", SCALE)
+
+
+@pytest.fixture(scope="module")
+def t_repl():
+    return run_strong_table("table3", "replicate", SCALE)
+
+
+@pytest.fixture(scope="module")
+def t_cache():
+    return run_strong_table("table5", "cache", SCALE)
+
+
+@pytest.fixture(scope="module")
+def t_final():
+    return run_strong_table("table8", "subspace", SCALE)
+
+
+class TestPaperStory:
+    def test_baseline_shape(self, t_base):
+        checks = check_table2(t_base)
+        bad = [c for c in checks if not c.ok]
+        assert not bad, [f"{c.name}: {c.detail}" for c in bad]
+
+    def test_replication_wins_at_scale(self, t_base, t_repl):
+        checks = check_replicate(t_base, t_repl)
+        assert all(c.ok for c in checks), [c.detail for c in checks]
+
+    def test_cache_collapses_force(self, t_repl, t_cache):
+        i = -1
+        ratio = (t_cache.phase_row("force")[i]
+                 / t_repl.phase_row("force")[i])
+        assert ratio < 0.05  # paper: -99%
+
+    def test_cumulative_improvement(self, t_base, t_final):
+        checks = check_cumulative(t_base, t_final, minimum=50.0)
+        assert all(c.ok for c in checks), [c.detail for c in checks]
+
+    def test_one_thread_never_catastrophic(self, t_base, t_final):
+        """At 1 thread every variant is within ~2x of every other (the
+        optimizations target communication, which 1 thread doesn't do)."""
+        assert t_base.totals[0] < 3 * t_final.totals[0]
+        assert t_final.totals[0] < 3 * t_base.totals[0]
+
+    def test_final_force_fraction_dominates(self, t_final):
+        """Figure 6: with everything applied, force remains the biggest
+        phase at scale (82.4% in the paper)."""
+        i = -1
+        frac = t_final.phase_row("force")[i] / t_final.totals[i]
+        assert frac > 0.25
+
+
+class TestWeakScalingStory:
+    def test_vector_reduction_story(self):
+        from repro.experiments.figures import run_fig10, run_fig11
+        from repro.experiments.shapes import check_fig10_vs_fig11
+
+        f10 = run_fig10(SCALE)
+        f11 = run_fig11(SCALE)
+        checks = check_fig10_vs_fig11(f10, f11)
+        assert all(c.ok for c in checks), [c.detail for c in checks]
+
+    def test_merge_imbalance_story(self):
+        from repro.experiments.figures import run_fig8
+        from repro.experiments.shapes import check_fig8
+
+        res = run_fig8(SCALE, nthreads=32)
+        checks = check_fig8(res)
+        assert all(c.ok for c in checks), [c.detail for c in checks]
+
+
+class TestDeterminism:
+    def test_same_seed_same_times(self):
+        cfg = BHConfig(nbodies=300, nsteps=2, warmup_steps=1, seed=3)
+        a = run_variant("async", cfg, 8)
+        b = run_variant("async", cfg, 8)
+        assert a.total_time == b.total_time
+        assert np.array_equal(a.bodies.pos, b.bodies.pos)
+
+    def test_machine_affects_times_not_physics(self):
+        cfg = BHConfig(nbodies=300, nsteps=2, warmup_steps=1, seed=3)
+        a = run_variant("cache", cfg, 8, machine=MachineConfig())
+        b = run_variant("cache", cfg, 8,
+                        machine=MachineConfig(remote_rtt=100e-6))
+        assert np.array_equal(a.bodies.pos, b.bodies.pos)
+        assert b.total_time > a.total_time

@@ -1,0 +1,197 @@
+"""BodySoA, direct summation, kernels, integrator, bbox, distributions."""
+
+import numpy as np
+import pytest
+
+from repro.nbody.bbox import RootBox, bounding_box, compute_root
+from repro.nbody.bodies import BodySoA
+from repro.nbody.constants import G
+from repro.nbody.direct import direct_acc, direct_potential
+from repro.nbody.distributions import two_plummer_collision, uniform_sphere
+from repro.nbody.energy import energy_report, kinetic_energy
+from repro.nbody.integrator import (
+    advance,
+    advance_indices,
+    startup_half_kick,
+)
+from repro.nbody.kernels import accept_mask, point_acc
+
+
+class TestBodySoA:
+    def test_from_arrays_validates_shapes(self):
+        with pytest.raises(ValueError):
+            BodySoA.from_arrays(np.zeros((3, 2)), np.zeros((3, 3)),
+                                np.ones(3))
+
+    def test_rejects_nonpositive_mass(self):
+        with pytest.raises(ValueError):
+            BodySoA.from_arrays(np.zeros((2, 3)), np.zeros((2, 3)),
+                                np.array([1.0, 0.0]))
+
+    def test_len_and_n(self, bodies):
+        assert len(bodies) == bodies.n == 256
+
+    def test_indices_assigned_to(self, bodies):
+        bodies.assign[:] = 0
+        bodies.assign[10:20] = 3
+        assert list(bodies.indices_assigned_to(3)) == list(range(10, 20))
+
+    def test_copy_is_deep(self, bodies):
+        c = bodies.copy()
+        c.pos[0, 0] = 99.0
+        assert bodies.pos[0, 0] != 99.0
+
+
+class TestDirect:
+    def test_two_body_analytic(self):
+        pos = np.array([[0.0, 0, 0], [1.0, 0, 0]])
+        mass = np.array([2.0, 3.0])
+        acc = direct_acc(pos, mass, eps=0.0)
+        assert acc[0] == pytest.approx([G * 3.0, 0, 0])
+        assert acc[1] == pytest.approx([-G * 2.0, 0, 0])
+
+    def test_momentum_conservation(self, bodies):
+        acc = direct_acc(bodies.pos, bodies.mass, eps=0.01)
+        f = (bodies.mass[:, None] * acc).sum(0)
+        assert np.allclose(f, 0.0, atol=1e-12)
+
+    def test_softening_caps_close_encounters(self):
+        pos = np.array([[0.0, 0, 0], [1e-8, 0, 0]])
+        mass = np.array([1.0, 1.0])
+        soft = direct_acc(pos, mass, eps=0.05)
+        assert np.abs(soft).max() < 1.0 / 0.05 ** 2
+
+    def test_chunking_invariant(self, bodies):
+        a = direct_acc(bodies.pos, bodies.mass, 0.02, chunk=7)
+        b = direct_acc(bodies.pos, bodies.mass, 0.02, chunk=1024)
+        assert np.allclose(a, b)
+
+    def test_potential_negative_and_chunk_invariant(self, bodies):
+        u1 = direct_potential(bodies.pos, bodies.mass, 0.02, chunk=7)
+        u2 = direct_potential(bodies.pos, bodies.mass, 0.02)
+        assert u1 < 0
+        assert u1 == pytest.approx(u2)
+
+    def test_pair_analytic_potential(self):
+        pos = np.array([[0.0, 0, 0], [2.0, 0, 0]])
+        mass = np.array([1.0, 1.0])
+        u = direct_potential(pos, mass, eps=0.0)
+        assert u == pytest.approx(-G * 1.0 / 2.0)
+
+
+class TestKernels:
+    def test_point_acc_matches_direct(self):
+        pos = np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]])
+        acc = point_acc(pos, np.array([1.0, 1.0, 1.0]), 2.0, eps_sq=0.0)
+        d = np.array([1.0, 1.0, 1.0]) - pos
+        r = np.linalg.norm(d, axis=1)
+        expect = G * 2.0 * d / r[:, None] ** 3
+        assert np.allclose(acc, expect)
+
+    def test_accept_mask_far_accepts(self):
+        pos = np.array([[10.0, 0, 0], [0.1, 0, 0]])
+        mask = accept_mask(pos, np.zeros(3), size=1.0, theta=1.0)
+        assert mask[0] and not mask[1]
+
+    def test_accept_threshold_exact(self):
+        # l/d < theta: at d slightly above l/theta it flips
+        pos = np.array([[1.001, 0, 0], [0.999, 0, 0]])
+        mask = accept_mask(pos, np.zeros(3), size=1.0, theta=1.0)
+        assert mask[0] and not mask[1]
+
+    def test_smaller_theta_accepts_less(self, bodies):
+        m1 = accept_mask(bodies.pos, np.zeros(3), 1.0, theta=1.0)
+        m2 = accept_mask(bodies.pos, np.zeros(3), 1.0, theta=0.3)
+        assert m2.sum() <= m1.sum()
+
+
+class TestIntegrator:
+    def test_kick_drift(self):
+        pos = np.zeros((1, 3))
+        vel = np.array([[1.0, 0, 0]])
+        acc = np.array([[0.0, 1.0, 0]])
+        advance(pos, vel, acc, dt=0.5)
+        assert vel[0] == pytest.approx([1.0, 0.5, 0.0])
+        assert pos[0] == pytest.approx([0.5, 0.25, 0.0])
+
+    def test_startup_half_kick(self):
+        vel = np.ones((1, 3))
+        startup_half_kick(vel, np.ones((1, 3)), dt=0.2)
+        assert vel[0] == pytest.approx([0.9, 0.9, 0.9])
+
+    def test_advance_indices_touches_only_subset(self):
+        pos = np.zeros((4, 3))
+        vel = np.ones((4, 3))
+        acc = np.zeros((4, 3))
+        advance_indices(pos, vel, acc, np.array([1, 3]), dt=1.0)
+        assert pos[0].sum() == 0 and pos[2].sum() == 0
+        assert pos[1].sum() == 3 and pos[3].sum() == 3
+
+    def test_two_body_circular_orbit_energy(self):
+        """Leapfrog holds energy on a circular two-body orbit."""
+        m = np.array([0.5, 0.5])
+        r = 1.0
+        v = np.sqrt(G * 0.5 / (2 * 0.5))  # circular speed about CoM
+        pos = np.array([[-0.5, 0, 0], [0.5, 0, 0]])
+        vel = np.array([[0, -v / np.sqrt(2), 0], [0, v / np.sqrt(2), 0]])
+        vel *= np.sqrt(2) / 2  # v_circ = sqrt(GM_tot/(4 r_half)) tuning
+        b = BodySoA.from_arrays(pos, vel, m)
+        e0 = energy_report(b, eps=0.0).total
+        dt = 0.01
+        acc = direct_acc(b.pos, b.mass, 0.0)
+        startup_half_kick(b.vel, acc, dt)
+        for _ in range(200):
+            acc = direct_acc(b.pos, b.mass, 0.0)
+            advance(b.pos, b.vel, acc, dt)
+        e1 = energy_report(b, eps=0.0).total
+        assert e1 == pytest.approx(e0, rel=0.05)
+
+
+class TestBBox:
+    def test_bounding_box(self):
+        pos = np.array([[0.0, -1, 2], [3.0, 1, -2]])
+        lo, hi = bounding_box(pos)
+        assert lo == pytest.approx([0, -1, -2])
+        assert hi == pytest.approx([3, 1, 2])
+
+    def test_root_contains_all(self, bodies):
+        box = compute_root(bodies.pos)
+        assert box.contains(bodies.pos).all()
+
+    def test_rsize_doubles_from_initial(self, bodies):
+        box = compute_root(bodies.pos, initial_rsize=0.5)
+        lo, hi = bounding_box(bodies.pos)
+        extent = (hi - lo).max()
+        assert box.rsize >= extent
+        # rsize is 0.5 * 2^k
+        k = np.log2(box.rsize / 0.5)
+        assert k == pytest.approx(round(k))
+
+    def test_rsize_stable_between_close_steps(self, bodies):
+        a = compute_root(bodies.pos).rsize
+        b = compute_root(bodies.pos * 1.001).rsize
+        assert a == b  # doubling makes it write-rarely (section 5.1)
+
+
+class TestDistributions:
+    def test_uniform_sphere_inside_radius(self):
+        b = uniform_sphere(500, seed=1, radius=2.0)
+        assert np.all(np.linalg.norm(b.pos, axis=1) <= 2.0 + 1e-12)
+        assert np.all(b.vel == 0)
+
+    def test_collision_two_clumps(self):
+        b = two_plummer_collision(400, seed=2, separation=6.0)
+        x = b.pos[:, 0]
+        assert (x < -1).sum() > 100 and (x > 1).sum() > 100
+        assert b.total_mass() == pytest.approx(1.0)
+        assert np.allclose(b.momentum(), 0, atol=1e-12)
+
+    def test_collision_needs_two(self):
+        with pytest.raises(ValueError):
+            two_plummer_collision(1)
+
+    def test_kinetic_energy(self):
+        b = BodySoA.from_arrays(np.zeros((2, 3)),
+                                np.array([[1.0, 0, 0], [0, 2.0, 0]]),
+                                np.array([2.0, 1.0]))
+        assert kinetic_energy(b) == pytest.approx(0.5 * 2 * 1 + 0.5 * 1 * 4)

@@ -1,0 +1,87 @@
+"""Plummer initial conditions: units, frame, structure, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.nbody.energy import energy_report
+from repro.nbody.plummer import (
+    RSC,
+    plummer,
+    plummer_half_mass_radius,
+)
+
+
+class TestBasics:
+    def test_total_mass_is_one(self):
+        b = plummer(500, seed=1)
+        assert b.total_mass() == pytest.approx(1.0)
+
+    def test_equal_masses(self):
+        b = plummer(100, seed=1)
+        assert np.allclose(b.mass, 1.0 / 100)
+
+    def test_center_of_mass_frame(self):
+        b = plummer(1000, seed=2)
+        assert np.allclose(b.center_of_mass(), 0.0, atol=1e-12)
+        assert np.allclose(b.momentum(), 0.0, atol=1e-12)
+
+    def test_deterministic_for_seed(self):
+        a = plummer(128, seed=5)
+        b = plummer(128, seed=5)
+        assert np.array_equal(a.pos, b.pos)
+        assert np.array_equal(a.vel, b.vel)
+
+    def test_different_seeds_differ(self):
+        a = plummer(128, seed=5)
+        b = plummer(128, seed=6)
+        assert not np.allclose(a.pos, b.pos)
+
+    def test_rejects_zero_bodies(self):
+        with pytest.raises(ValueError):
+            plummer(0)
+
+    def test_rejects_bad_mfrac(self):
+        with pytest.raises(ValueError):
+            plummer(10, mfrac=0.0)
+        with pytest.raises(ValueError):
+            plummer(10, mfrac=1.5)
+
+
+class TestPhysics:
+    def test_henon_units_energy(self):
+        """The paper's stated units: M = -4E = G = 1."""
+        b = plummer(3000, seed=3)
+        rep = energy_report(b, eps=0.02)
+        assert rep.total == pytest.approx(-0.25, rel=0.08)
+
+    def test_virialized(self):
+        b = plummer(3000, seed=4)
+        rep = energy_report(b, eps=0.02)
+        assert rep.virial_ratio == pytest.approx(1.0, rel=0.1)
+
+    def test_half_mass_radius(self):
+        b = plummer(4000, seed=7)
+        r = np.linalg.norm(b.pos, axis=1)
+        measured = np.median(r)
+        assert measured == pytest.approx(plummer_half_mass_radius(),
+                                         rel=0.15)
+
+    def test_centrally_concentrated(self):
+        b = plummer(2000, seed=8)
+        r = np.linalg.norm(b.pos, axis=1)
+        inner = (r < RSC).sum()
+        outer = (r > 3 * RSC).sum()
+        assert inner > outer
+
+    def test_velocities_bounded_by_escape(self):
+        """The sampled velocity fraction x < 1 keeps v below escape."""
+        b = plummer(2000, seed=9)
+        r = np.linalg.norm(b.pos / RSC, axis=1)
+        v = np.linalg.norm(b.vel, axis=1)
+        vesc = np.sqrt(2.0) * (1 + r * r) ** -0.25 / np.sqrt(RSC)
+        assert np.all(v <= vesc * (1 + 1e-9))
+
+    def test_isotropy(self):
+        b = plummer(5000, seed=10)
+        mean_dir = (b.pos / np.linalg.norm(b.pos, axis=1)[:, None]).mean(0)
+        assert np.linalg.norm(mean_dir) < 0.05

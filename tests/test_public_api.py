@@ -1,0 +1,68 @@
+"""The documented public API surface (README quickstart must keep working)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    BHConfig,
+    BarnesHutSimulation,
+    MachineConfig,
+    OPT_LADDER,
+    PhaseTimes,
+    RunResult,
+    UpcRuntime,
+    VARIANTS,
+    get_variant,
+    run_variant,
+)
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_readme_quickstart(self):
+        cfg = BHConfig(nbodies=256, nsteps=2, warmup_steps=1)
+        res = run_variant("subspace", cfg, nthreads=8)
+        assert res.total_time > 0
+        rows = res.phase_times.as_rows()
+        assert len(rows) == 6
+        for label, seconds, pct in rows:
+            assert isinstance(label, str)
+            assert seconds >= 0.0
+            assert 0.0 <= pct <= 100.0
+        assert res.counter("interactions") > 0
+        assert isinstance(res.variant_stats["migration_fractions"], list)
+
+    def test_phase_times_percentages_sum(self):
+        cfg = BHConfig(nbodies=256, nsteps=2, warmup_steps=1)
+        res = run_variant("baseline", cfg, 4)
+        total_pct = sum(pct for _, _, pct in res.phase_times.as_rows())
+        assert total_pct == pytest.approx(100.0)
+
+    def test_ladder_and_registry_consistent(self):
+        assert set(OPT_LADDER) <= set(VARIANTS)
+        for name in OPT_LADDER:
+            assert get_variant(name) is VARIANTS[name]
+
+    def test_simulation_object_api(self):
+        cfg = BHConfig(nbodies=128, nsteps=2, warmup_steps=1)
+        sim = BarnesHutSimulation(cfg, 4, machine=MachineConfig(),
+                                  variant="cache")
+        res = sim.run()
+        assert isinstance(res, RunResult)
+        assert isinstance(res.phase_times, PhaseTimes)
+        assert isinstance(sim.rt, UpcRuntime)
+
+    def test_experiment_surface_importable(self):
+        from repro.experiments import (  # noqa: F401
+            PAPER_TABLES,
+            run_all_shape_checks,
+            run_table2,
+        )
+        assert "table2" in PAPER_TABLES

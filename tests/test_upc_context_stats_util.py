@@ -1,0 +1,138 @@
+"""ThreadCtx facade, StatsLog aggregation, and table-rendering utilities."""
+
+import numpy as np
+import pytest
+
+from repro.upc.context import ThreadCtx, contexts
+from repro.upc.params import MachineConfig
+from repro.upc.pointers import GlobalPtr, PointerError
+from repro.upc.runtime import UpcRuntime
+from repro.upc.stats import Counters, StatsLog
+from repro.util.tables import (
+    format_markdown_table,
+    format_seconds,
+    write_csv,
+)
+
+
+class TestThreadCtx:
+    @pytest.fixture()
+    def rt(self):
+        return UpcRuntime(4, MachineConfig())
+
+    def test_identity(self, rt):
+        ctx = ThreadCtx(rt, 2)
+        assert ctx.MYTHREAD == 2 and ctx.THREADS == 4
+
+    def test_out_of_range(self, rt):
+        with pytest.raises(ValueError):
+            ThreadCtx(rt, 4)
+
+    def test_contexts_helper(self, rt):
+        cs = contexts(rt)
+        assert [c.MYTHREAD for c in cs] == [0, 1, 2, 3]
+
+    def test_upc_alloc_has_my_affinity(self, rt):
+        ctx = ThreadCtx(rt, 3)
+        p = ctx.upc_alloc(128)
+        assert p.thread == 3
+        assert rt.heap.allocated[3] == 128
+
+    def test_upc_threadof(self, rt):
+        ctx = ThreadCtx(rt, 0)
+        assert ctx.upc_threadof(GlobalPtr(2, None)) == 2
+
+    def test_cast_local_enforced(self, rt):
+        ctx = ThreadCtx(rt, 0)
+        with pytest.raises(PointerError):
+            ctx.cast_local(GlobalPtr(1, None))
+        ctx.cast_local(GlobalPtr(0, None))  # legal
+
+    def test_deref_charges_by_affinity(self, rt):
+        ctx = ThreadCtx(rt, 0)
+        with rt.phase("p"):
+            ctx.deref(GlobalPtr(1, None), words=2, count=10)
+            remote = float(rt.clock[0])
+        with rt.phase("q"):
+            ctx.deref(GlobalPtr(0, None), words=2, count=10)
+        rec_r, rec_l = rt.log.records[-2], rt.log.records[-1]
+        assert rec_r.thread_times[0] > 10 * rec_l.thread_times[0]
+
+    def test_memget_and_lock_roundtrip(self, rt):
+        ctx = ThreadCtx(rt, 1)
+        lk = rt.new_lock(0)
+        with rt.phase("p"):
+            ctx.upc_memget(0, 1024)
+            ctx.upc_memput(2, 512)
+            ctx.upc_memget_ilist(3, 7, 120)
+            ctx.upc_lock(lk)
+            ctx.compute(1e-6)
+            ctx.upc_unlock(lk)
+            ctx.count("custom", 2)
+        rec = rt.log.records[-1]
+        assert rec.counters.total("custom") == 2
+        assert rec.counters.total("lock_acquire") == 1
+        assert rec.counters.total("remote_bytes") == 1024 + 512 + 7 * 120
+
+
+class TestStats:
+    def test_counters_keys_sorted(self):
+        c = Counters(2)
+        c.add(0, "b")
+        c.add(1, "a")
+        assert c.keys() == ["a", "b"]
+
+    def test_counters_merge(self):
+        a = Counters(2)
+        a.add(0, "x", 3)
+        b = Counters(2)
+        b.add(1, "x", 4)
+        a.merged_into(b)
+        assert b.total("x") == 7
+
+    def test_statslog_phase_slicing(self, rt4):
+        for step in range(3):
+            rt4.step = step
+            with rt4.phase("force"):
+                rt4.charge(0, 1.0)
+        log = rt4.log
+        assert log.phase_time("force") == pytest.approx(
+            sum(r.duration for r in log.records))
+        assert len(log.phases("force", slice(1, None))) == 2
+        assert log.steps() == [0, 1, 2]
+
+    def test_imbalance_metric(self, rt4):
+        with rt4.phase("p"):
+            rt4.charge(0, 3.0)
+            rt4.charge(1, 1.0)
+        rec = rt4.log.records[-1]
+        assert rec.imbalance == pytest.approx(3.0 / 1.0)
+
+    def test_counter_total_with_phase_filter(self, rt4):
+        with rt4.phase("a"):
+            rt4.count(0, "k", 5)
+        with rt4.phase("b"):
+            rt4.count(0, "k", 7)
+        assert rt4.log.counter_total("k") == 12
+        assert rt4.log.counter_total("k", phase="a") == 5
+
+
+class TestTablesUtil:
+    def test_format_seconds_ranges(self):
+        assert format_seconds(0) == "0"
+        assert format_seconds(1234.5) == "1234"
+        assert format_seconds(12.345) == "12.35"
+        assert format_seconds(0.01234) == "0.0123"
+        assert "e" in format_seconds(1.5e-7)
+
+    def test_markdown_table(self):
+        md = format_markdown_table(["a", "b"], [[1, 2.5], ["x", 0.001]])
+        lines = md.strip().splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert len(lines) == 4
+
+    def test_write_csv_creates_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "out.csv"
+        write_csv(path, ["x"], [[1], [2]])
+        assert path.read_text().splitlines() == ["x", "1", "2"]

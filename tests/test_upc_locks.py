@@ -1,0 +1,73 @@
+"""UpcLock: free-time contention model."""
+
+import pytest
+
+from repro.upc.locks import UpcLock
+
+
+class TestUncontended:
+    def test_acquire_advances_by_overhead(self):
+        lk = UpcLock(0)
+        grant = lk.acquire_at(1, 10.0, 0.5)
+        assert grant == pytest.approx(10.5)
+        assert lk.acquires == 1
+        assert lk.contended_acquires == 0
+
+    def test_release_sets_free_time(self):
+        lk = UpcLock(0)
+        lk.acquire_at(1, 0.0, 0.1)
+        done = lk.release_at(1, 5.0, 0.2)
+        assert done == pytest.approx(5.2)
+        assert lk.free_at == pytest.approx(5.2)
+
+
+class TestContention:
+    def test_second_acquire_waits(self):
+        lk = UpcLock(0)
+        lk.acquire_at(0, 0.0, 0.1)
+        lk.release_at(0, 3.0, 0.1)
+        grant = lk.acquire_at(1, 1.0, 0.1)  # arrives while held
+        assert grant == pytest.approx(3.2)
+        assert lk.contended_acquires == 1
+        assert lk.total_wait == pytest.approx(2.1)
+
+    def test_serializes_a_chain_of_threads(self):
+        """A hot lock serializes critical sections -- the tree-build
+        bottleneck of section 5.4."""
+        lk = UpcLock(0)
+        hold = 1.0
+        last_done = 0.0
+        for t in range(8):
+            grant = lk.acquire_at(t, 0.0, 0.0)
+            assert grant >= last_done
+            last_done = lk.release_at(t, grant + hold, 0.0)
+        assert last_done >= 8 * hold
+
+    def test_no_wait_after_release_passed(self):
+        lk = UpcLock(0)
+        lk.acquire_at(0, 0.0, 0.1)
+        lk.release_at(0, 1.0, 0.1)
+        grant = lk.acquire_at(1, 50.0, 0.1)
+        assert grant == pytest.approx(50.1)
+        assert lk.contended_acquires == 0
+
+
+class TestErrors:
+    def test_release_by_non_holder_raises(self):
+        lk = UpcLock(0)
+        lk.acquire_at(0, 0.0, 0.1)
+        with pytest.raises(RuntimeError, match="released lock held by"):
+            lk.release_at(1, 1.0, 0.1)
+
+    def test_release_without_acquire_raises(self):
+        lk = UpcLock(0)
+        with pytest.raises(RuntimeError):
+            lk.release_at(0, 0.0, 0.0)
+
+    def test_reset_clock_keeps_counters(self):
+        lk = UpcLock(0)
+        lk.acquire_at(0, 0.0, 0.1)
+        lk.release_at(0, 1.0, 0.1)
+        lk.reset_clock()
+        assert lk.free_at == 0.0
+        assert lk.acquires == 1

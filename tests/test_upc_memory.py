@@ -1,0 +1,91 @@
+"""SharedHeap / SharedArray: allocation and distribution rules."""
+
+import numpy as np
+import pytest
+
+from repro.upc.memory import SharedArray, SharedHeap, distribution_counts
+
+
+class TestSharedHeap:
+    def test_upc_alloc_has_caller_affinity(self):
+        h = SharedHeap(4)
+        p = h.upc_alloc(2, 128)
+        assert p.thread == 2
+        assert h.allocated[2] == 128
+
+    def test_upc_alloc_rejects_bad_thread(self):
+        h = SharedHeap(4)
+        with pytest.raises(ValueError):
+            h.upc_alloc(4, 8)
+
+    def test_upc_alloc_rejects_negative_size(self):
+        h = SharedHeap(2)
+        with pytest.raises(ValueError):
+            h.upc_alloc(0, -1)
+
+    def test_free_returns_bytes(self):
+        h = SharedHeap(2)
+        p = h.upc_alloc(1, 64)
+        h.upc_free(p)
+        assert h.allocated[1] == 0
+        assert h.live_objects[1] == 0
+
+    def test_global_alloc_spreads_blocks(self):
+        h = SharedHeap(4)
+        h.upc_global_alloc(8, 100)
+        assert list(h.allocated) == [200, 200, 200, 200]
+
+    def test_global_alloc_uneven(self):
+        h = SharedHeap(4)
+        h.upc_global_alloc(6, 10)
+        assert list(h.allocated) == [20, 20, 10, 10]
+
+    def test_needs_at_least_one_thread(self):
+        with pytest.raises(ValueError):
+            SharedHeap(0)
+
+
+class TestSharedArray:
+    def test_cyclic_affinity(self):
+        a = SharedArray(4, 10, 8)
+        assert [a.affinity(i) for i in range(10)] == [
+            0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+
+    def test_affinity_bounds(self):
+        a = SharedArray(4, 10, 8)
+        with pytest.raises(IndexError):
+            a.affinity(10)
+
+    def test_blocks_on(self):
+        a = SharedArray(4, 10, 8)
+        assert [a.blocks_on(t) for t in range(4)] == [3, 3, 2, 2]
+        assert sum(a.blocks_on(t) for t in range(4)) == 10
+
+
+class TestBlockDistribution:
+    def test_contiguous_chunks(self):
+        owner = SharedArray.block_distributed(4, 8)
+        assert list(owner) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_remainder_goes_last(self):
+        owner = SharedArray.block_distributed(3, 7)
+        # ceil(7/3)=3 per chunk: 3,3,1
+        assert list(owner) == [0, 0, 0, 1, 1, 1, 2]
+
+    def test_single_thread(self):
+        owner = SharedArray.block_distributed(1, 5)
+        assert list(owner) == [0] * 5
+
+    def test_empty(self):
+        assert len(SharedArray.block_distributed(4, 0)) == 0
+
+    def test_every_thread_within_one_chunk_of_even(self):
+        owner = SharedArray.block_distributed(7, 100)
+        counts = distribution_counts(owner, 7)
+        assert counts.sum() == 100
+        assert counts.max() - counts.min() <= int(np.ceil(100 / 7))
+
+    def test_distribution_counts_minlength(self):
+        owner = np.zeros(5, dtype=np.int32)
+        counts = distribution_counts(owner, 4)
+        assert list(counts) == [5, 0, 0, 0]

@@ -1,0 +1,104 @@
+"""AsyncEngine: issue/trysync/waitsync semantics and overlap."""
+
+import pytest
+
+from repro.upc.nonblocking import AsyncEngine
+from repro.upc.params import MachineConfig
+from repro.upc.runtime import UpcRuntime
+
+
+@pytest.fixture()
+def rt():
+    return UpcRuntime(4, MachineConfig())
+
+
+@pytest.fixture()
+def eng(rt):
+    return AsyncEngine(rt)
+
+
+class TestIssue:
+    def test_issue_charges_only_overhead(self, rt, eng):
+        with rt.phase("p"):
+            before = float(rt.clock[0])
+            h = eng.memget_vlist_async(0, {1: 10}, 216)
+            issue_cost = float(rt.clock[0]) - before
+        blocking = rt.cost.gather_ilist(0, 1, 10, 216).issuer
+        assert issue_cost < blocking / 5
+        assert h.complete_at > before + issue_cost * 0.5
+
+    def test_empty_request_is_presynced(self, rt, eng):
+        with rt.phase("p"):
+            h = eng.memget_vlist_async(0, {}, 216)
+        assert h.synced
+        assert h.nelems == 0
+
+    def test_zero_counts_filtered(self, rt, eng):
+        with rt.phase("p"):
+            h = eng.memget_vlist_async(0, {1: 0, 2: 5}, 216)
+        assert h.nsources == 1
+
+    def test_multi_source_completion_is_max(self, rt, eng):
+        with rt.phase("p"):
+            h1 = eng.memget_vlist_async(0, {1: 1}, 216)
+            h2 = eng.memget_vlist_async(0, {1: 1, 2: 1000}, 216)
+        assert h2.complete_at - rt.clock[0] >= h1.complete_at - rt.clock[0]
+
+    def test_source_histogram_records(self, rt, eng):
+        with rt.phase("p"):
+            eng.memget_vlist_async(0, {1: 1}, 216)
+            eng.memget_vlist_async(0, {1: 1, 2: 1}, 216)
+            eng.memget_vlist_async(0, {3: 4}, 216)
+        fr = eng.source_fractions()
+        assert fr[1] == pytest.approx(2 / 3)
+        assert fr[2] == pytest.approx(1 / 3)
+
+
+class TestSync:
+    def test_waitsync_jumps_to_completion(self, rt, eng):
+        with rt.phase("p"):
+            h = eng.memget_vlist_async(0, {1: 100}, 216)
+            eng.waitsync(0, h)
+            assert float(rt.clock[0]) >= h.complete_at
+            assert h.synced
+
+    def test_overlap_hides_latency(self, rt, eng):
+        """Compute issued between issue and wait hides the transfer."""
+        with rt.phase("p"):
+            h = eng.memget_vlist_async(0, {1: 10}, 216)
+            rt.charge(0, 1.0)  # plenty of compute
+            before = float(rt.clock[0])
+            eng.waitsync(0, h)
+            stall = float(rt.clock[0]) - before
+        assert stall < 1e-5  # sync overhead only, no transfer wait
+
+    def test_trysync_false_before_completion(self, rt, eng):
+        with rt.phase("p"):
+            h = eng.memget_vlist_async(0, {1: 1000}, 216)
+            assert not eng.trysync(0, h)
+            rt.charge(0, 1.0)
+            assert eng.trysync(0, h)
+
+    def test_waitsync_idempotent(self, rt, eng):
+        with rt.phase("p"):
+            h = eng.memget_vlist_async(0, {1: 1}, 216)
+            eng.waitsync(0, h)
+            t = float(rt.clock[0])
+            eng.waitsync(0, h)
+            assert float(rt.clock[0]) == t
+
+    def test_outstanding_tracking(self, rt, eng):
+        with rt.phase("p"):
+            h1 = eng.memget_vlist_async(0, {1: 1}, 216)
+            h2 = eng.memget_vlist_async(0, {2: 1}, 216)
+            assert eng.outstanding_count(0) == 2
+            eng.waitsync(0, h1)
+            assert eng.outstanding_count(0) == 1
+            eng.waitsync(0, h2)
+            assert eng.outstanding_count(0) == 0
+
+    def test_stall_counter_records_wait(self, rt, eng):
+        with rt.phase("p"):
+            h = eng.memget_vlist_async(0, {1: 1000}, 216)
+            eng.waitsync(0, h)
+        assert rt.log.records[-1].counters.total("waitsync_stall") > 0

@@ -1,0 +1,95 @@
+"""MachineConfig: validation, topology, execution modes."""
+
+import pytest
+
+from repro.upc.params import (
+    DEFAULT_MACHINE,
+    MachineConfig,
+    paper_section5_machine,
+    paper_section6_machine,
+)
+
+
+class TestValidation:
+    def test_default_is_valid(self):
+        assert DEFAULT_MACHINE.threads_per_node == 1
+        assert DEFAULT_MACHINE.mode == "process"
+
+    def test_rejects_zero_threads_per_node(self):
+        with pytest.raises(ValueError, match="threads_per_node"):
+            MachineConfig(threads_per_node=0)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            MachineConfig(mode="threads")
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError, match="remote_rtt"):
+            MachineConfig(remote_rtt=-1e-6)
+
+    def test_rejects_negative_gap(self):
+        with pytest.raises(ValueError, match="nic_gap"):
+            MachineConfig(nic_gap=-1.0)
+
+    def test_rejects_pthread_factor_below_one(self):
+        with pytest.raises(ValueError, match="pthread_compute_factor"):
+            MachineConfig(pthread_compute_factor=0.5)
+
+    def test_with_returns_modified_copy(self):
+        m = MachineConfig()
+        m2 = m.with_(remote_rtt=1e-6)
+        assert m2.remote_rtt == 1e-6
+        assert m.remote_rtt != 1e-6
+        assert m2 is not m
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            MachineConfig().remote_rtt = 0.0
+
+
+class TestTopology:
+    def test_node_of_block_mapping(self):
+        m = MachineConfig(threads_per_node=4)
+        assert [m.node_of(t) for t in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_single_thread_per_node(self):
+        m = MachineConfig(threads_per_node=1)
+        assert m.node_of(7) == 7
+
+    def test_same_node(self):
+        m = MachineConfig(threads_per_node=4)
+        assert m.same_node(0, 3)
+        assert not m.same_node(3, 4)
+
+    def test_nodes_for_rounds_up(self):
+        m = MachineConfig(threads_per_node=16)
+        assert m.nodes_for(16) == 1
+        assert m.nodes_for(17) == 2
+        assert m.nodes_for(1) == 1
+
+    def test_nodes_for_exact(self):
+        m = MachineConfig(threads_per_node=4)
+        assert m.nodes_for(12) == 3
+
+
+class TestModes:
+    def test_pthread_same_node_shares_memory(self):
+        m = MachineConfig(threads_per_node=4, mode="pthread")
+        assert m.shared_memory_path(0, 3)
+
+    def test_pthread_cross_node_does_not(self):
+        m = MachineConfig(threads_per_node=4, mode="pthread")
+        assert not m.shared_memory_path(0, 4)
+
+    def test_process_mode_never_shares(self):
+        """Section 4.1: process mode pays the loopback path intra-node."""
+        m = MachineConfig(threads_per_node=16, mode="process")
+        assert not m.shared_memory_path(0, 1)
+
+    def test_paper_section5_machine(self):
+        m = paper_section5_machine()
+        assert m.threads_per_node == 1 and m.mode == "process"
+
+    def test_paper_section6_machine(self):
+        m = paper_section6_machine()
+        assert m.threads_per_node == 16 and m.mode == "pthread"

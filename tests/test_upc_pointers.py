@@ -1,0 +1,41 @@
+"""Global/local pointer semantics: the paper's casting rules."""
+
+import pytest
+
+from repro.upc.pointers import GlobalPtr, LocalPtr, PointerError
+
+
+class TestGlobalPtr:
+    def test_carries_affinity(self):
+        p = GlobalPtr(3, "cell")
+        assert p.thread == 3 and p.target == "cell"
+
+    def test_rejects_negative_affinity(self):
+        with pytest.raises(PointerError):
+            GlobalPtr(-1, None)
+
+    def test_is_local_to(self):
+        p = GlobalPtr(2, object())
+        assert p.is_local_to(2)
+        assert not p.is_local_to(0)
+
+    def test_cast_local_from_home_thread(self):
+        """Section 5.2: pointers to redistributed bodies can be cast."""
+        target = object()
+        lp = GlobalPtr(1, target).cast_local(1)
+        assert isinstance(lp, LocalPtr)
+        assert lp.target is target
+
+    def test_cast_local_from_other_thread_raises(self):
+        """Casting a remote pointer to local is illegal in UPC."""
+        with pytest.raises(PointerError, match="cannot cast"):
+            GlobalPtr(1, object()).cast_local(0)
+
+    def test_nbytes_recorded(self):
+        assert GlobalPtr(0, None, nbytes=216).nbytes == 216
+
+
+class TestLocalPtr:
+    def test_holds_target(self):
+        t = object()
+        assert LocalPtr(t).target is t

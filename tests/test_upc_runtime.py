@@ -1,0 +1,204 @@
+"""UpcRuntime: phases, charging, NIC demand, dependency event loop."""
+
+import numpy as np
+import pytest
+
+from repro.upc.params import MachineConfig
+from repro.upc.runtime import UpcRuntime
+
+
+class TestPhases:
+    def test_phase_duration_is_max_thread_time(self, rt4):
+        with rt4.phase("p"):
+            rt4.charge(0, 1.0)
+            rt4.charge(1, 3.0)
+        rec = rt4.log.records[-1]
+        barrier = rt4.cost.barrier(4)
+        assert rec.duration == pytest.approx(3.0 + barrier)
+
+    def test_clocks_synchronized_after_phase(self, rt4):
+        with rt4.phase("p"):
+            rt4.charge(2, 5.0)
+        assert np.all(rt4.clock == rt4.clock[0])
+
+    def test_nested_phase_rejected(self, rt4):
+        rt4.begin_phase("a")
+        with pytest.raises(RuntimeError, match="still open"):
+            rt4.begin_phase("b")
+        rt4.end_phase()
+
+    def test_end_without_begin_rejected(self, rt4):
+        with pytest.raises(RuntimeError, match="no open phase"):
+            rt4.end_phase()
+
+    def test_phase_records_accumulate(self, rt4):
+        for name in ("a", "b", "a"):
+            with rt4.phase(name):
+                rt4.charge(0, 1.0)
+        assert len(rt4.log.phases("a")) == 2
+        assert len(rt4.log.phases("b")) == 1
+
+    def test_empty_phase_costs_a_barrier(self, rt4):
+        with rt4.phase("noop"):
+            pass
+        assert rt4.log.records[-1].duration == pytest.approx(
+            rt4.cost.barrier(4))
+
+
+class TestNicDemand:
+    def test_nic_bound_phase(self, rt4):
+        """A phase whose adapter demand exceeds compute is NIC-bound --
+        the mechanism behind the baseline's thread-0 hot spot."""
+        with rt4.phase("hot"):
+            for t in range(1, 4):
+                rt4.word_access(t, 0, words=1.0, count=10_000)
+        rec = rt4.log.records[-1]
+        assert rec.nic_times[0] > 0
+        assert rec.duration >= rec.nic_times[0]
+
+    def test_nic_demand_lands_on_target_node(self, rt4):
+        with rt4.phase("p"):
+            rt4.word_access(0, 3, words=1.0, count=100)
+        rec = rt4.log.records[-1]
+        assert rec.nic_times[3] > 0
+        assert rec.nic_times[1] == 0
+
+    def test_local_access_no_nic(self, rt4):
+        with rt4.phase("p"):
+            rt4.word_access(1, 1, words=1.0, count=100)
+        assert rt4.log.records[-1].nic_times.sum() == 0
+
+    def test_pthread_same_node_no_nic(self, rt8_pthread):
+        with rt8_pthread.phase("p"):
+            rt8_pthread.word_access(0, 3, words=1.0, count=100)
+        assert rt8_pthread.log.records[-1].nic_times.sum() == 0
+
+    def test_nic_shared_per_node(self, rt8_pthread):
+        """Two threads on node 1 serving traffic load ONE adapter."""
+        with rt8_pthread.phase("p"):
+            rt8_pthread.word_access(0, 4, words=1.0, count=50)
+            rt8_pthread.word_access(1, 5, words=1.0, count=50)
+        rec = rt8_pthread.log.records[-1]
+        assert rec.nic_times[1] > 0
+        one = rec.nic_times[1]
+        # same demand as 100 accesses to a single thread on that node
+        rt = rt8_pthread
+        with rt.phase("q"):
+            rt.word_access(0, 4, words=1.0, count=100)
+        assert rt.log.records[-1].nic_times[1] == pytest.approx(one)
+
+
+class TestCharging:
+    def test_charge_compute_applies_pthread_factor(self):
+        rt = UpcRuntime(2, MachineConfig(threads_per_node=2, mode="pthread"))
+        with rt.phase("p"):
+            rt.charge_compute(0, 1.0)
+        rec = rt.log.records[-1]
+        assert rec.thread_times[0] == pytest.approx(1.95)
+
+    def test_memget_charges_bytes_counter(self, rt4):
+        with rt4.phase("p"):
+            rt4.memget(0, 1, 4096)
+        assert rt4.log.records[-1].counters.total("remote_bytes") == 4096
+
+    def test_memget_local_counts_no_remote_bytes(self, rt4):
+        with rt4.phase("p"):
+            rt4.memget(1, 1, 4096)
+        assert rt4.log.records[-1].counters.total("remote_bytes") == 0
+
+    def test_memget_ilist_zero_elements_is_free(self, rt4):
+        with rt4.phase("p"):
+            rt4.memget_ilist(0, 1, 0, 100)
+        rec = rt4.log.records[-1]
+        assert rec.thread_times[0] == 0.0
+
+    def test_counters_recorded_per_thread(self, rt4):
+        with rt4.phase("p"):
+            rt4.count(2, "things", 5)
+            rt4.count(3, "things", 7)
+        c = rt4.log.records[-1].counters
+        assert c.total("things") == 12
+        assert list(c.per_thread("things")) == [0, 0, 5, 7]
+
+
+class TestLocksViaRuntime:
+    def test_lock_contention_serializes_phase(self, rt4):
+        lk = rt4.new_lock(0)
+        hold = 1e-3
+        with rt4.phase("p"):
+            for t in range(4):
+                rt4.lock(t, lk)
+                rt4.charge(t, hold)
+                rt4.unlock(t, lk)
+        rec = rt4.log.records[-1]
+        assert rec.duration >= 4 * hold
+        assert lk.contended_acquires >= 2
+
+
+class TestRunWaiting:
+    def test_dependency_order_respected(self, rt4):
+        done_times = {}
+
+        def producer(t):
+            rt4.charge(t, 1.0)
+            rt4.mark_done("data", t)
+            return
+            yield  # pragma: no cover
+
+        def consumer(t):
+            if not rt4.token_done("data"):
+                yield "data"
+            done_times["consumer"] = float(rt4.clock[t])
+
+        with rt4.phase("p"):
+            rt4.run_waiting({0: consumer(0), 1: producer(1)})
+        # the consumer could not finish before the producer's mark at t=1.0
+        assert done_times["consumer"] >= 1.0
+
+    def test_poll_cost_charged_on_wait(self, rt4):
+        def producer(t):
+            rt4.charge(t, 1.0)
+            rt4.mark_done("x", t)
+            return
+            yield  # pragma: no cover
+
+        def consumer(t):
+            yield "x"
+
+        with rt4.phase("p"):
+            rt4.run_waiting({0: consumer(0), 1: producer(1)},
+                            poll_cost=0.25)
+        assert rt4.log.records[-1].thread_times[0] >= 1.0
+
+    def test_deadlock_detected(self, rt4):
+        def waiter(t):
+            yield "never"
+
+        with rt4.phase("p"):
+            with pytest.raises(RuntimeError, match="deadlock"):
+                rt4.run_waiting({0: waiter(0)})
+        # phase must still close cleanly (context manager)
+
+    def test_chain_of_dependencies(self, rt4):
+        order = []
+
+        def stage(t, need, produce):
+            if need is not None and not rt4.token_done(need):
+                yield need
+            rt4.charge(t, 0.5)
+            order.append(t)
+            rt4.mark_done(produce, t)
+
+        with rt4.phase("p"):
+            rt4.run_waiting({
+                0: stage(0, "b", "c"),
+                1: stage(1, "a", "b"),
+                2: stage(2, None, "a"),
+            })
+        assert order == [2, 1, 0]
+        # clock of thread 0 reflects the whole chain
+        assert rt4.log.records[-1].thread_times[0] >= 1.5
+
+    def test_needs_positive_threads(self):
+        with pytest.raises(ValueError):
+            UpcRuntime(0)

@@ -1,0 +1,219 @@
+"""Cross-variant behaviour: physics equivalence, phase plans, cost
+monotonicity down the optimization ladder, paper-claim counters."""
+
+import numpy as np
+import pytest
+
+from repro.core.app import BarnesHutSimulation, run_variant
+from repro.core.config import BHConfig
+from repro.core.phases import (
+    ADVANCE,
+    COFM,
+    FORCE,
+    PARTITION,
+    REDISTRIBUTION,
+    TREEBUILD,
+)
+from repro.core.variants.registry import (
+    LADDER_SECTIONS,
+    OPT_LADDER,
+    VARIANTS,
+    get_variant,
+)
+from repro.nbody.energy import energy_report
+from repro.nbody.plummer import plummer
+from repro.upc.params import MachineConfig
+
+
+@pytest.fixture(scope="module")
+def ladder_results(tiny_cfg_module):
+    """Every ladder variant run on the same workload (module-cached)."""
+    out = {}
+    for name in OPT_LADDER + ["cache-merged"]:
+        out[name] = run_variant(name, tiny_cfg_module, 6)
+    return out
+
+
+@pytest.fixture(scope="module")
+def tiny_cfg_module():
+    return BHConfig(nbodies=192, nsteps=3, warmup_steps=1, seed=7)
+
+
+class TestRegistry:
+    def test_ladder_complete(self):
+        assert OPT_LADDER == ["baseline", "replicate", "redistribute",
+                              "cache", "localbuild", "async", "subspace"]
+
+    def test_every_variant_registered(self):
+        for name in OPT_LADDER + ["cache-merged"]:
+            assert name in VARIANTS
+            assert VARIANTS[name].name == name
+
+    def test_sections_mapped(self):
+        assert LADDER_SECTIONS["subspace"] == "6"
+        assert LADDER_SECTIONS["replicate"] == "5.1"
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(KeyError, match="unknown variant"):
+            get_variant("quantum")
+
+    def test_ladder_levels_increase(self):
+        levels = [VARIANTS[n].ladder_level for n in OPT_LADDER]
+        assert levels == sorted(levels)
+
+
+class TestPhysicsEquivalence:
+    def test_levels_0_to_4_bitwise_identical(self, ladder_results):
+        ref = ladder_results["baseline"].bodies
+        for name in ("replicate", "redistribute", "cache", "localbuild",
+                     "cache-merged"):
+            b = ladder_results[name].bodies
+            assert np.array_equal(b.pos, ref.pos), name
+            assert np.array_equal(b.vel, ref.vel), name
+
+    def test_async_subspace_match_to_fp_noise(self, ladder_results):
+        ref = ladder_results["baseline"].bodies
+        for name in ("async", "subspace"):
+            b = ladder_results[name].bodies
+            assert np.allclose(b.pos, ref.pos, rtol=1e-9, atol=1e-9), name
+            assert np.allclose(b.vel, ref.vel, rtol=1e-9, atol=1e-9), name
+
+    def test_energy_conserved(self, tiny_cfg_module, ladder_results):
+        e0 = energy_report(plummer(192, seed=7), tiny_cfg_module.eps)
+        e1 = energy_report(ladder_results["subspace"].bodies,
+                           tiny_cfg_module.eps)
+        assert abs(e1.total - e0.total) / abs(e0.total) < 0.02
+
+    def test_every_body_advanced_once(self, ladder_results):
+        ics = plummer(192, seed=7)
+        for name, res in ladder_results.items():
+            moved = np.linalg.norm(res.bodies.pos - ics.pos, axis=1)
+            assert np.all(moved > 0), name
+
+
+class TestPhasePlans:
+    def test_baseline_plan_rows(self, tiny_cfg_module):
+        sim = BarnesHutSimulation(tiny_cfg_module, 4, variant="baseline")
+        names = [n for n, _ in sim.variant.phase_plan()]
+        assert names == [TREEBUILD, COFM, PARTITION, FORCE, ADVANCE]
+
+    def test_redistribute_adds_phase(self, tiny_cfg_module):
+        sim = BarnesHutSimulation(tiny_cfg_module, 4,
+                                  variant="redistribute")
+        names = [n for n, _ in sim.variant.phase_plan()]
+        assert REDISTRIBUTION in names
+        assert names.index(PARTITION) < names.index(REDISTRIBUTION)
+
+    def test_localbuild_drops_cofm(self, tiny_cfg_module):
+        sim = BarnesHutSimulation(tiny_cfg_module, 4, variant="localbuild")
+        names = [n for n, _ in sim.variant.phase_plan()]
+        assert COFM not in names
+
+    def test_subspace_plan_interleaves_treebuild(self, tiny_cfg_module):
+        sim = BarnesHutSimulation(tiny_cfg_module, 4, variant="subspace")
+        names = [n for n, _ in sim.variant.phase_plan()]
+        assert names == [TREEBUILD, PARTITION, REDISTRIBUTION, TREEBUILD,
+                         FORCE, ADVANCE]
+
+    def test_phase_times_cover_measured_steps_only(self, tiny_cfg_module):
+        res = run_variant("baseline", tiny_cfg_module, 2)
+        measured = [r for r in res.log
+                    if r.step >= tiny_cfg_module.warmup_steps]
+        assert res.phase_times.total == pytest.approx(
+            sum(r.duration for r in measured))
+
+
+class TestCostMonotonicity:
+    """The mechanisms, checked via counters (cost-model independent)."""
+
+    def test_scalar_reads_eliminated_by_replication(self, ladder_results):
+        base = ladder_results["baseline"].counter("scalar_reads", FORCE)
+        repl = ladder_results["replicate"].counter("scalar_reads", FORCE)
+        assert base > 0
+        assert repl == 0
+
+    def test_rsize_reads_once_per_thread(self, ladder_results):
+        base = ladder_results["baseline"].counter("scalar_reads",
+                                                  TREEBUILD)
+        repl = ladder_results["replicate"].counter("scalar_reads",
+                                                   TREEBUILD)
+        assert repl < base / 4
+
+    def test_redistribution_localizes_bodies(self, ladder_results):
+        base = ladder_results["replicate"].counter("body_words")
+        redi = ladder_results["redistribute"].counter("body_words")
+        assert redi < base / 4
+
+    def test_cache_reduces_fine_grained_force_words(self, ladder_results):
+        uncached = ladder_results["redistribute"].counter("force_words",
+                                                          FORCE)
+        cached = ladder_results["cache"].counter("force_words", FORCE)
+        assert cached == 0
+        assert uncached > 0
+
+    def test_cache_misses_bounded_by_cells(self, ladder_results):
+        res = ladder_results["cache"]
+        misses = res.counter("cache_misses", FORCE)
+        assert misses > 0
+
+    def test_localbuild_uses_no_locks_for_local_insert(self, ladder_results):
+        base_locks = ladder_results["cache"].counter("lock_acquire",
+                                                     TREEBUILD)
+        lb_locks = ladder_results["localbuild"].counter("lock_acquire",
+                                                        TREEBUILD)
+        assert lb_locks < base_locks
+
+    def test_async_converts_misses_to_gathers(self, ladder_results):
+        res = ladder_results["async"]
+        assert res.counter("async_gathers", FORCE) > 0
+        # blocking cache fetches are gone
+        assert res.counter("cache_fetch", FORCE) <= res.nthreads * \
+            len(res.log.steps())  # only the L_root copies remain
+
+    def test_subspace_partition_is_local(self, ladder_results):
+        res = ladder_results["subspace"]
+        assert res.counter("partition_reads", PARTITION) == 0
+
+    def test_migration_settles_to_small_fraction(self, tiny_cfg_module):
+        """Section 5.2's ~2% claim (loose at tiny N): after warmup the
+        per-step migration fraction is far below the first step's."""
+        cfg = tiny_cfg_module.with_(nbodies=512, nsteps=4)
+        res = run_variant("redistribute", cfg, 8)
+        fr = res.variant_stats["migration_fractions"]
+        assert fr[0] > 0.3  # initial shuffle
+        assert fr[-1] < 0.15  # settled
+
+    def test_total_times_strictly_improve_through_cache(self,
+                                                        ladder_results):
+        t = {n: ladder_results[n].total_time for n in OPT_LADDER}
+        assert t["replicate"] < t["baseline"]
+        assert t["cache"] < t["redistribute"] / 5
+        assert t["localbuild"] <= t["cache"]
+        assert t["async"] <= t["localbuild"]
+
+    def test_merge_subphases_recorded(self, ladder_results):
+        subs = ladder_results["localbuild"].variant_stats[
+            "treebuild_subphases"]
+        assert len(subs) == 3  # one per step
+        assert subs[0]["local"].shape == (6,)
+        assert subs[0]["merge"].shape == (6,)
+
+
+class TestMachineModes:
+    def test_pthread_slower_than_process_at_one_thread(self, tiny_cfg_module):
+        rp = run_variant("subspace", tiny_cfg_module, 1,
+                         machine=MachineConfig(mode="process"))
+        rt = run_variant("subspace", tiny_cfg_module, 1,
+                         machine=MachineConfig(mode="pthread"))
+        assert rt.total_time / rp.total_time == pytest.approx(1.95,
+                                                              rel=0.1)
+
+    def test_single_node_process_catastrophe(self, tiny_cfg_module):
+        """Section 4.1: 16 processes on one node vs 16 pthreads."""
+        pth = run_variant("baseline", tiny_cfg_module, 8,
+                          machine=MachineConfig(threads_per_node=8,
+                                                mode="pthread"))
+        prc = run_variant("baseline", tiny_cfg_module, 8,
+                          machine=MachineConfig(threads_per_node=8,
+                                                mode="process"))
+        assert prc.total_time > 10 * pth.total_time
