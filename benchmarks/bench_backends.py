@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Force-backend wall-clock benchmark (writes BENCH_backends.json).
+
+Thin wrapper so the perf trajectory can be regenerated with::
+
+    PYTHONPATH=src python benchmarks/bench_backends.py
+
+The implementation lives in :mod:`repro.experiments.bench_backends` (also
+installed as the ``repro-bench`` console script).  This is a plain script,
+not a pytest-benchmark case like its ``test_*`` siblings, because it
+measures real engine wall-clock rather than simulated PGAS time.
+"""
+
+import sys
+
+from repro.experiments.bench_backends import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ Quickstart::
     print(res.total_time, res.phase_times.as_rows())
 """
 
+from .backends import BACKENDS, ForceBackend, get_backend, make_backend
 from .core import (
     BHConfig,
     BarnesHutSimulation,
@@ -31,15 +32,19 @@ from .upc import MachineConfig, UpcRuntime
 __version__ = "1.0.0"
 
 __all__ = [
+    "BACKENDS",
     "BHConfig",
     "BarnesHutSimulation",
+    "ForceBackend",
     "MachineConfig",
     "OPT_LADDER",
     "PhaseTimes",
     "RunResult",
     "UpcRuntime",
     "VARIANTS",
+    "get_backend",
     "get_variant",
+    "make_backend",
     "run_variant",
     "__version__",
 ]

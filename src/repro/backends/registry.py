@@ -1,0 +1,41 @@
+"""Force-backend registry (mirrors :mod:`repro.core.variants.registry`)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Type
+
+from .base import ForceBackend
+from .direct import DirectBackend
+from .flat import FlatBackend
+from .object_tree import ObjectTreeBackend
+
+#: every selectable backend, by registry name
+BACKENDS: Dict[str, Type[ForceBackend]] = {
+    cls.name: cls
+    for cls in (
+        ObjectTreeBackend,
+        FlatBackend,
+        DirectBackend,
+    )
+}
+
+#: the default used by :class:`repro.core.config.BHConfig`
+DEFAULT_BACKEND = ObjectTreeBackend.name
+
+
+def backend_names() -> List[str]:
+    return sorted(BACKENDS)
+
+
+def get_backend(name: str) -> Type[ForceBackend]:
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown force backend {name!r}; choose from {sorted(BACKENDS)}"
+        ) from None
+
+
+def make_backend(name: str, cfg: Any) -> ForceBackend:
+    """Instantiate a backend for one simulation's configuration."""
+    return get_backend(name)(cfg)

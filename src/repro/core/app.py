@@ -6,8 +6,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Type, Union
 
 from ..nbody.bodies import BodySoA
-from ..nbody.distributions import two_plummer_collision, uniform_sphere
-from ..nbody.plummer import plummer
+from ..nbody.distributions import make_distribution
 from ..upc.params import MachineConfig
 from ..upc.runtime import UpcRuntime
 from ..upc.stats import StatsLog
@@ -40,14 +39,9 @@ class RunResult:
 
 
 def make_bodies(cfg: BHConfig) -> BodySoA:
-    """Initial conditions per the configured distribution."""
-    if cfg.distribution == "plummer":
-        return plummer(cfg.nbodies, seed=cfg.seed)
-    if cfg.distribution == "uniform":
-        return uniform_sphere(cfg.nbodies, seed=cfg.seed)
-    if cfg.distribution == "collision":
-        return two_plummer_collision(cfg.nbodies, seed=cfg.seed)
-    raise ValueError(cfg.distribution)  # pragma: no cover - config validates
+    """Initial conditions per the configured distribution (registry
+    dispatch; BHConfig validated the name against the same registry)."""
+    return make_distribution(cfg.distribution, cfg.nbodies, seed=cfg.seed)
 
 
 class BarnesHutSimulation:

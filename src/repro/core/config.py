@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from ..backends.registry import BACKENDS, DEFAULT_BACKEND
 from ..nbody.constants import (
     DEFAULT_DT,
     DEFAULT_EPS,
@@ -30,7 +31,12 @@ class BHConfig:
     nsteps: int = DEFAULT_NSTEPS
     warmup_steps: int = DEFAULT_WARMUP_STEPS
     seed: int = 123
-    distribution: str = "plummer"  # plummer | uniform | collision
+    #: any name in :data:`repro.nbody.distributions.DISTRIBUTIONS`
+    distribution: str = "plummer"
+    #: force engine (:data:`repro.backends.BACKENDS`): "object-tree" keeps
+    #: the policy-instrumented recursion the cost model meters; "flat" runs
+    #: the vectorized SoA engine; "direct" the O(n^2) reference
+    force_backend: str = DEFAULT_BACKEND
 
     # -- section 5.5 framework parameters (paper: n1 = n2 = n3 = 4) -------
     n1: int = 4  #: working body groups processed concurrently
@@ -65,8 +71,18 @@ class BHConfig:
             raise ValueError("alpha must be positive")
         if self.buffer_factor < 1.0:
             raise ValueError("buffer_factor must be >= 1")
-        if self.distribution not in ("plummer", "uniform", "collision"):
-            raise ValueError(f"unknown distribution {self.distribution!r}")
+        from ..nbody.distributions import distribution_names
+
+        if self.distribution not in distribution_names():
+            raise ValueError(
+                f"unknown distribution {self.distribution!r}; "
+                f"choose from {list(distribution_names())}"
+            )
+        if self.force_backend not in BACKENDS:
+            raise ValueError(
+                f"unknown force backend {self.force_backend!r}; "
+                f"choose from {sorted(BACKENDS)}"
+            )
 
     @property
     def measured_steps(self) -> int:

@@ -31,6 +31,9 @@ class AsyncAgg(LocalBuild):
         self.frontier_stats = []
 
     def phase_force(self) -> None:
+        if self.backend_force_active():
+            self.phase_force_backend()
+            return
         rt = self.rt
         bodies = self.bodies
         engine = AsyncEngine(rt)

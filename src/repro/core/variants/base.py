@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ...backends import make_backend
 from ...nbody.bbox import RootBox, compute_root
 from ...nbody.bodies import BodySoA
 from ...nbody.integrator import advance_indices, startup_half_kick
@@ -98,6 +99,9 @@ class VariantBase:
         self.step_index = 0
         #: cells in the current global tree (set by each build)
         self.ncells = 1
+        #: force engine; "object-tree" keeps the policy-instrumented call
+        #: path below, any other backend takes over the force phase
+        self.force_backend = make_backend(cfg.force_backend, cfg)
 
     # ------------------------------------------------------------------ #
     # plumbing                                                           #
@@ -307,7 +311,41 @@ class VariantBase:
     def force_root(self, tid: int):
         return self.root
 
+    def backend_force_active(self) -> bool:
+        """True when a non-default backend replaces the force engine."""
+        return self.force_backend.name != "object-tree"
+
+    def phase_force_backend(self) -> None:
+        """Force phase through the pluggable backend.
+
+        The UPC traversal accounting (TraversalPolicy hooks) only makes
+        sense for the object-tree engine; here the backend's aggregate
+        counters are recorded into the StatsLog (``backend_*`` keys) and
+        the interaction work is charged as local computation.
+        """
+        rt = self.rt
+        bodies = self.bodies
+        backend = self.force_backend
+        backend.begin_step(self.root if backend.needs_tree else None, bodies)
+        new_cost = bodies.cost.copy()
+        for t in range(self.P):
+            idx = self.assigned(t)
+            if len(idx) == 0:
+                continue
+            self.charge_body_words(t, idx, BODY_FORCE_WORDS)
+            res = backend.accelerations(idx, bodies)
+            bodies.acc[idx] = res.acc
+            new_cost[idx] = np.maximum(res.work, 1.0)
+            rt.charge_compute(t, res.interactions * rt.machine.interaction_cost)
+            rt.count(t, "interactions", res.interactions)
+            for key, val in res.counters.items():
+                rt.count(t, f"backend_{key}", float(val))
+        bodies.cost = new_cost
+
     def phase_force(self) -> None:
+        if self.backend_force_active():
+            self.phase_force_backend()
+            return
         rt = self.rt
         bodies = self.bodies
         new_cost = bodies.cost.copy()

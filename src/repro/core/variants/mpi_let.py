@@ -242,6 +242,9 @@ class MpiLet(AsyncAgg):
 
     # ------------------------------------------------------------------ #
     def phase_force(self) -> None:
+        if self.backend_force_active():
+            self.phase_force_backend()
+            return
         rt = self.rt
         bodies = self.bodies
         new_cost = bodies.cost.copy()

@@ -1,0 +1,150 @@
+"""Wall-clock benchmark of the force backends (the perf trajectory).
+
+Unlike everything else under :mod:`repro.experiments` -- which reports
+*simulated* PGAS time from the cost model -- this measures real wall-clock
+seconds of the engines themselves: tree build (insertion + c-of-m, plus
+flattening for the flat backend) and the force phase (accelerations for
+all bodies in one group), per backend, per body count.
+
+Writes ``BENCH_backends.json`` (repo root by default) so successive PRs
+can track the trajectory::
+
+    repro-bench                      # or: python -m repro.experiments.bench_backends
+    repro-bench --sizes 1024 4096 --repeats 5 --out BENCH_backends.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from ..nbody.bbox import compute_root
+from ..nbody.constants import DEFAULT_EPS, DEFAULT_THETA
+from ..nbody.direct import direct_acc
+from ..nbody.distributions import make_distribution
+from ..octree.build import build_tree
+from ..octree.cofm import compute_cofm
+from ..octree.flat import FlatTree, flat_gravity
+from ..octree.traverse import gravity_traversal
+
+#: direct summation is O(n^2); skip it above this size to keep runs short
+DIRECT_MAX_N = 4096
+
+
+def _best(fn, repeats: int) -> "tuple[float, object]":
+    """Minimum wall-clock over ``repeats`` calls, plus the last result."""
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def bench_backends(sizes: "List[int]" = (1024, 4096, 16384),
+                   repeats: int = 3, seed: int = 123,
+                   theta: float = DEFAULT_THETA, eps: float = DEFAULT_EPS,
+                   distribution: str = "plummer",
+                   verbose: bool = True) -> dict:
+    """Time tree build + force phase per backend; return the report dict."""
+    report = {
+        "schema": "repro-bench-backends/1",
+        "config": {"sizes": list(sizes), "repeats": repeats, "seed": seed,
+                   "theta": theta, "eps": eps,
+                   "distribution": distribution},
+        "results": [],
+    }
+    for n in sizes:
+        bodies = make_distribution(distribution, n, seed=seed)
+        box = compute_root(bodies.pos, 4.0)
+        idx = np.arange(n)
+
+        def build_object():
+            root = build_tree(bodies.pos, box)
+            compute_cofm(root, bodies.pos, bodies.mass, bodies.cost)
+            return root
+
+        obj_build_s, root = _best(build_object, repeats)
+        flatten_s, ftree = _best(lambda: FlatTree.from_cell(root), repeats)
+        obj_force_s, (obj_acc, obj_work) = _best(
+            lambda: gravity_traversal(root, idx, bodies.pos, bodies.mass,
+                                      theta, eps), repeats)
+        flat_force_s, (flat_acc, flat_work, _) = _best(
+            lambda: flat_gravity(ftree, idx, bodies.pos, bodies.mass,
+                                 theta, eps), repeats)
+        rows = [
+            {"n": n, "backend": "object-tree", "build_s": obj_build_s,
+             "force_s": obj_force_s,
+             "interactions": float(obj_work.sum())},
+            {"n": n, "backend": "flat",
+             "build_s": obj_build_s + flatten_s, "flatten_s": flatten_s,
+             "force_s": flat_force_s,
+             "interactions": float(flat_work.sum()),
+             "speedup_vs_object": obj_force_s / flat_force_s,
+             "max_abs_acc_diff_vs_object":
+                 float(np.abs(obj_acc - flat_acc).max())},
+        ]
+        if n <= DIRECT_MAX_N:
+            direct_s, direct = _best(
+                lambda: direct_acc(bodies.pos, bodies.mass, eps), repeats)
+            rel = (np.linalg.norm(obj_acc - direct, axis=1)
+                   / np.maximum(np.linalg.norm(direct, axis=1), 1e-300))
+            rows.append(
+                {"n": n, "backend": "direct", "build_s": 0.0,
+                 "force_s": direct_s,
+                 "interactions": float(n * (n - 1)),
+                 "bh_median_rel_err": float(np.median(rel))})
+        else:
+            rows.append({"n": n, "backend": "direct", "skipped":
+                         f"n > {DIRECT_MAX_N} (O(n^2))"})
+        report["results"].extend(rows)
+        if verbose:
+            for r in rows:
+                if "skipped" in r:
+                    print(f"n={r['n']:>6} {r['backend']:<12} skipped "
+                          f"({r['skipped']})")
+                    continue
+                extra = ""
+                if "speedup_vs_object" in r:
+                    extra = (f"  {r['speedup_vs_object']:.2f}x vs object, "
+                             f"max|da|={r['max_abs_acc_diff_vs_object']:.1e}")
+                print(f"n={r['n']:>6} {r['backend']:<12} "
+                      f"build {r['build_s']:.4f}s  "
+                      f"force {r['force_s']:.4f}s{extra}")
+    return report
+
+
+def main(argv: "Optional[List[str]]" = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Wall-clock force-backend benchmark "
+                    "(writes BENCH_backends.json).")
+    ap.add_argument("--sizes", type=int, nargs="+",
+                    default=[1024, 4096, 16384])
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--seed", type=int, default=123)
+    ap.add_argument("--theta", type=float, default=DEFAULT_THETA)
+    ap.add_argument("--eps", type=float, default=DEFAULT_EPS)
+    ap.add_argument("--distribution", default="plummer")
+    ap.add_argument("--out", default="BENCH_backends.json",
+                    help="output JSON path (default: repo root when run "
+                         "from there)")
+    args = ap.parse_args(argv)
+    report = bench_backends(sizes=args.sizes, repeats=args.repeats,
+                            seed=args.seed, theta=args.theta, eps=args.eps,
+                            distribution=args.distribution)
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

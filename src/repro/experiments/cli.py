@@ -124,13 +124,29 @@ def main(argv: "List[str] | None" = None) -> int:
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures "
                     "(simulated-time reproduction).")
+    from ..backends import backend_names
+    from ..nbody.distributions import distribution_names
+
     ap.add_argument("ids", nargs="*", help=f"experiment ids: {ALL_IDS}")
     ap.add_argument("--all", action="store_true", help="run everything")
     ap.add_argument("--scale", default="bench", choices=list(SCALES))
     ap.add_argument("--out", default="results", help="output directory")
+    ap.add_argument("--backend", default=None, choices=backend_names(),
+                    help="force backend for every run (default: object-tree)")
+    ap.add_argument("--distribution", default=None,
+                    choices=list(distribution_names()),
+                    help="initial conditions for every run "
+                         "(default: plummer)")
     args = ap.parse_args(argv)
 
     scale = SCALES[args.scale]
+    overrides = []
+    if args.backend is not None:
+        overrides.append(("force_backend", args.backend))
+    if args.distribution is not None:
+        overrides.append(("distribution", args.distribution))
+    if overrides:
+        scale = scale.with_(overrides=tuple(overrides))
     ids = ALL_IDS if args.all else args.ids
     if not ids:
         ap.print_help()

@@ -35,10 +35,15 @@ class Scale:
     weak_bodies_per_thread: int
     weak_thread_counts: Sequence[int]
     seed: int = 123
+    #: extra BHConfig fields applied to every run of the campaign, e.g.
+    #: (("force_backend", "flat"), ("distribution", "disk")) -- how the CLI
+    #: retargets all experiments onto another backend/scenario
+    overrides: Sequence = ()
 
     def config(self, **kw) -> BHConfig:
         base = dict(nbodies=self.nbodies, nsteps=self.nsteps,
                     warmup_steps=self.warmup_steps, seed=self.seed)
+        base.update(dict(self.overrides))
         base.update(kw)
         return BHConfig(**base)
 

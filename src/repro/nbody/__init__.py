@@ -13,7 +13,15 @@ from .constants import (
     MFRAC,
 )
 from .direct import direct_acc, direct_potential
-from .distributions import two_plummer_collision, uniform_sphere
+from .distributions import (
+    DISTRIBUTIONS,
+    distribution_names,
+    exponential_disk,
+    make_distribution,
+    register_distribution,
+    two_plummer_collision,
+    uniform_sphere,
+)
 from .energy import EnergyReport, energy_report, kinetic_energy
 from .integrator import advance, advance_indices, startup_half_kick
 from .kernels import accept_mask, point_acc
@@ -22,6 +30,7 @@ from .plummer import plummer, plummer_half_mass_radius
 __all__ = [
     "BodySoA",
     "DEFAULT_DT",
+    "DISTRIBUTIONS",
     "DEFAULT_EPS",
     "DEFAULT_NSTEPS",
     "DEFAULT_THETA",
@@ -37,11 +46,15 @@ __all__ = [
     "compute_root",
     "direct_acc",
     "direct_potential",
+    "distribution_names",
     "energy_report",
+    "exponential_disk",
     "kinetic_energy",
+    "make_distribution",
     "plummer",
     "plummer_half_mass_radius",
     "point_acc",
+    "register_distribution",
     "startup_half_kick",
     "two_plummer_collision",
     "uniform_sphere",

@@ -6,12 +6,15 @@ from .build import build_tree, insert, new_root
 from .cell import MAX_DEPTH, NSUB, Cell, Leaf
 from .cofm import compute_cofm, merge_cofm
 from .costzones import costzones, zone_costs
+from .flat import EMPTY, FlatTree, check_flat_tree, flat_gravity, prepare_bodies
 from .morton import bodies_in_order, leaves_in_order, morton_key, morton_keys
 from .traverse import TraversalPolicy, gravity_traversal
 from .validate import TreeInvariantError, check_tree
 
 __all__ = [
     "Cell",
+    "EMPTY",
+    "FlatTree",
     "Leaf",
     "MAX_DEPTH",
     "NSUB",
@@ -19,8 +22,10 @@ __all__ = [
     "TreeInvariantError",
     "bodies_in_order",
     "build_tree",
+    "check_flat_tree",
     "check_tree",
     "compute_cofm",
+    "flat_gravity",
     "costzones",
     "gravity_traversal",
     "insert",
@@ -29,5 +34,6 @@ __all__ = [
     "morton_key",
     "morton_keys",
     "new_root",
+    "prepare_bodies",
     "zone_costs",
 ]

@@ -1,0 +1,394 @@
+"""Flat Structure-of-Arrays octree and level-synchronous traversal.
+
+The linked ``Cell``/``Leaf`` tree of :mod:`repro.octree.cell` is ideal for
+the paper's communication accounting (every pointer dereference is a place
+to charge a remote read), but it pays Python-object overhead on the hottest
+path of the real computation.  ``FlatTree`` is the array-native alternative:
+the whole tree lives in a handful of contiguous numpy arrays, mirroring the
+flattened layouts of FDPS-style and GPU tree codes (Iwasawa et al. 2019;
+Lukat & Banerjee 2015), where the tree is rebuilt into arrays each step so
+traversal can be vectorized or offloaded.
+
+``flat_gravity`` walks the flat tree *level-synchronously*: instead of
+recursing node by node with an active-body set (``gravity_traversal``), it
+carries one frontier of (body, cell) pairs per level as index arrays.  The
+multipole-acceptance test, the far-cell accumulation, and the leaf
+body-body interactions are each a few numpy operations over the whole
+frontier, so Python-level work scales with tree *depth* (~15 levels), not
+with visited nodes.  All hot arrays are 1-D per component (gathers are
+tight C loops, not per-row copies), children are stored compacted (CSR, no
+empty-slot filtering on the frontier), and scatter-adds go through
+``np.bincount`` on the sorted body rows.  The interaction sets are
+identical to the scalar recursion -- only summation order differs, so
+accelerations agree to float64 round-off.
+
+Canonical child-slot encoding in ``FlatTree.child`` (int64, ``(C, 8)``):
+
+* ``v >= 0``      -- index of a child cell (row in the cell arrays),
+* ``v == EMPTY``  -- empty slot (-1),
+* ``v <= -2``     -- leaf holding bodies; leaf id is ``-v - 2``.
+
+Leaf ``i`` holds ``leaf_bodies[leaf_ptr[i]:leaf_ptr[i + 1]]`` -- one body
+almost always, several only for the MAX_DEPTH bucket degradation.  The
+traversal-side CSR arrays (``cell_ptr``/``cell_data``, and the fused
+cell-to-leaf-bodies spans ``lb_ptr``/``lb_data``) are derived from the
+canonical arrays on construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..nbody.bbox import RootBox
+from ..nbody.constants import G
+from .build import build_tree
+from .cell import NSUB, Cell, Leaf
+from .cofm import compute_cofm
+
+#: empty child-slot marker
+EMPTY = -1
+
+
+def encode_leaf(leaf_id: int) -> int:
+    """Child-slot encoding of leaf ``leaf_id``."""
+    return -(leaf_id + 2)
+
+
+def decode_leaf(value: "int | np.ndarray") -> "int | np.ndarray":
+    """Inverse of :func:`encode_leaf` (works elementwise on arrays)."""
+    return -value - 2
+
+
+def _ranges(base: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(base[i], base[i] + counts[i])`` spans."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out = np.arange(total, dtype=np.int64)
+    csum = np.cumsum(counts)
+    out += np.repeat(base - csum + counts, counts)
+    return out
+
+
+@dataclass
+class FlatTree:
+    """One octree, flattened to contiguous arrays (row 0 is the root)."""
+
+    center: np.ndarray      # (C, 3) float64 -- geometric cell centers
+    size: np.ndarray        # (C,)   float64 -- cell side lengths
+    mass: np.ndarray        # (C,)   float64
+    cofm: np.ndarray        # (C, 3) float64
+    nbodies: np.ndarray     # (C,)   int64
+    cost: np.ndarray        # (C,)   float64
+    home: np.ndarray        # (C,)   int32  -- owning thread (bookkeeping)
+    child: np.ndarray       # (C, 8) int64  -- encoded child slots
+    leaf_ptr: np.ndarray    # (L+1,) int64  -- leaf body spans
+    leaf_bodies: np.ndarray  # (B,)  int64  -- body indices, leaf-major
+
+    # -- traversal-side derived arrays (computed in __post_init__) --------
+    cell_ptr: np.ndarray = field(init=False, repr=False)
+    cell_data: np.ndarray = field(init=False, repr=False)
+    lb_ptr: np.ndarray = field(init=False, repr=False)
+    lb_data: np.ndarray = field(init=False, repr=False)
+    size_sq: np.ndarray = field(init=False, repr=False)
+    half: np.ndarray = field(init=False, repr=False)
+    gmass: np.ndarray = field(init=False, repr=False)
+    cx: np.ndarray = field(init=False, repr=False)
+    cy: np.ndarray = field(init=False, repr=False)
+    cz: np.ndarray = field(init=False, repr=False)
+    ctx: np.ndarray = field(init=False, repr=False)
+    cty: np.ndarray = field(init=False, repr=False)
+    ctz: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        C = len(self.size)
+        # compacted cell children: CSR over rows of ``child``
+        cells_mask = self.child >= 0
+        ccounts = cells_mask.sum(axis=1, dtype=np.int64)
+        self.cell_ptr = np.zeros(C + 1, dtype=np.int64)
+        np.cumsum(ccounts, out=self.cell_ptr[1:])
+        self.cell_data = self.child[cells_mask]
+        # fused cell -> leaf-body spans: for the traversal a leaf child is
+        # just a span of body indices, so splice all leaf children of a
+        # cell into one contiguous run
+        leaf_mask = self.child <= -2
+        leaf_rows, _ = np.nonzero(leaf_mask)
+        lids = decode_leaf(self.child[leaf_mask])
+        nb = self.leaf_ptr[lids + 1] - self.leaf_ptr[lids]
+        lb_counts = np.bincount(leaf_rows, weights=nb,
+                                minlength=C).astype(np.int64)
+        self.lb_ptr = np.zeros(C + 1, dtype=np.int64)
+        np.cumsum(lb_counts, out=self.lb_ptr[1:])
+        self.lb_data = self.leaf_bodies[_ranges(self.leaf_ptr[lids], nb)]
+        # hot scalars per cell, one contiguous 1-D array per component
+        self.size_sq = self.size * self.size
+        self.half = self.size / 2.0
+        self.gmass = G * self.mass
+        self.cx = np.ascontiguousarray(self.cofm[:, 0])
+        self.cy = np.ascontiguousarray(self.cofm[:, 1])
+        self.cz = np.ascontiguousarray(self.cofm[:, 2])
+        self.ctx = np.ascontiguousarray(self.center[:, 0])
+        self.cty = np.ascontiguousarray(self.center[:, 1])
+        self.ctz = np.ascontiguousarray(self.center[:, 2])
+
+    @property
+    def ncells(self) -> int:
+        return len(self.size)
+
+    @property
+    def nleaves(self) -> int:
+        return len(self.leaf_ptr) - 1
+
+    def leaf_slice(self, leaf_id: int) -> np.ndarray:
+        """Body indices stored in one leaf."""
+        return self.leaf_bodies[self.leaf_ptr[leaf_id]:
+                                self.leaf_ptr[leaf_id + 1]]
+
+    # ------------------------------------------------------------------ #
+    # construction                                                       #
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_cell(cls, root: Cell) -> "FlatTree":
+        """Flatten a linked tree (c-of-m already computed) breadth-first.
+
+        BFS order puts each level contiguously in memory, which is what
+        the level-synchronous traversal touches together.
+        """
+        order = [root]
+        child_rows = []
+        leaf_lists = []
+        i = 0
+        while i < len(order):
+            cell = order[i]
+            i += 1
+            row = np.empty(NSUB, dtype=np.int64)
+            for slot, ch in enumerate(cell.children):
+                if ch is None:
+                    row[slot] = EMPTY
+                elif isinstance(ch, Leaf):
+                    row[slot] = encode_leaf(len(leaf_lists))
+                    leaf_lists.append(ch.indices)
+                else:
+                    row[slot] = len(order)
+                    order.append(ch)
+            child_rows.append(row)
+
+        ncells = len(order)
+        counts = np.fromiter((len(ix) for ix in leaf_lists),
+                             dtype=np.int64, count=len(leaf_lists))
+        leaf_ptr = np.zeros(len(leaf_lists) + 1, dtype=np.int64)
+        np.cumsum(counts, out=leaf_ptr[1:])
+        leaf_bodies = np.fromiter(
+            (b for ix in leaf_lists for b in ix),
+            dtype=np.int64, count=int(leaf_ptr[-1]),
+        )
+        return cls(
+            center=np.array([c.center for c in order], dtype=np.float64
+                            ).reshape(ncells, 3),
+            size=np.array([c.size for c in order], dtype=np.float64),
+            mass=np.array([c.mass for c in order], dtype=np.float64),
+            cofm=np.array([c.cofm for c in order], dtype=np.float64
+                          ).reshape(ncells, 3),
+            nbodies=np.array([c.nbodies for c in order], dtype=np.int64),
+            cost=np.array([c.cost for c in order], dtype=np.float64),
+            home=np.array([c.home for c in order], dtype=np.int32),
+            child=np.stack(child_rows),
+            leaf_ptr=leaf_ptr,
+            leaf_bodies=leaf_bodies,
+        )
+
+    @classmethod
+    def from_bodies(cls, positions: np.ndarray, masses: np.ndarray,
+                    box: RootBox,
+                    costs: Optional[np.ndarray] = None) -> "FlatTree":
+        """Build a tree over all bodies and flatten it in one call."""
+        root = build_tree(positions, box)
+        compute_cofm(root, positions, masses, costs)
+        return cls.from_cell(root)
+
+
+def check_flat_tree(tree: FlatTree, positions: np.ndarray,
+                    masses: Optional[np.ndarray] = None) -> None:
+    """Array-level invariants, mirroring
+    :func:`repro.octree.validate.check_tree`.
+
+    Checks that every body appears in exactly one leaf, children halve the
+    parent and sit at the right offset, and (when ``masses`` is given) cell
+    mass/nbodies aggregate their subtrees.  Raises ``AssertionError``.
+    """
+    C = tree.ncells
+    assert tree.child.shape == (C, NSUB)
+    cells = tree.child >= 0
+    kids = tree.child[cells]
+    assert len(np.unique(kids)) == len(kids) == C - 1, \
+        "every non-root cell must be referenced exactly once"
+    parent_rows, parent_slots = np.nonzero(cells)
+    # geometry: child center = parent center +- size/4 per axis, half size
+    q = tree.size[parent_rows] / 4.0
+    off = np.stack([np.where(parent_slots & 1, q, -q),
+                    np.where(parent_slots & 2, q, -q),
+                    np.where(parent_slots & 4, q, -q)], axis=1)
+    expect = tree.center[parent_rows] + off
+    assert np.allclose(tree.center[kids], expect, rtol=0,
+                       atol=1e-9 * tree.size[parent_rows, None])
+    assert np.allclose(tree.size[kids], tree.size[parent_rows] / 2.0,
+                       rtol=1e-12)
+    # bodies: each exactly once across leaves, inside their parent cell
+    seen = np.sort(tree.leaf_bodies)
+    assert len(np.unique(seen)) == len(seen), "body in more than one leaf"
+    leaf_mask = tree.child <= -2
+    leaf_rows, _ = np.nonzero(leaf_mask)
+    leaf_ids = decode_leaf(tree.child[leaf_mask])
+    assert np.array_equal(np.sort(leaf_ids), np.arange(tree.nleaves)), \
+        "every leaf must be referenced exactly once"
+    counts = tree.leaf_ptr[leaf_ids + 1] - tree.leaf_ptr[leaf_ids]
+    parent_of_body = np.repeat(leaf_rows, counts)
+    bodies = tree.leaf_bodies[_ranges(tree.leaf_ptr[leaf_ids], counts)]
+    half = tree.size[parent_of_body, None] / 2.0 * (1 + 1e-9)
+    drift = (64 * np.finfo(np.float64).eps
+             * (float(np.abs(tree.center[0]).max()) + tree.size[0]))
+    assert np.all(np.abs(positions[bodies] - tree.center[parent_of_body])
+                  <= half + drift), "body outside its cell"
+    if masses is not None:
+        assert np.isclose(tree.mass[0], masses[seen].sum(), rtol=1e-9)
+        assert int(tree.nbodies[0]) == len(seen)
+
+
+def prepare_bodies(positions: np.ndarray,
+                   masses: np.ndarray) -> Tuple[np.ndarray, ...]:
+    """Per-step body-side arrays for :func:`flat_gravity`.
+
+    1-D contiguous position components plus premultiplied ``G * mass``.
+    These are invariant across the thread groups of one force phase, so
+    callers evaluating many groups against the same step (the flat
+    backend) compute them once and pass them via ``prepared=``.
+    """
+    return (np.ascontiguousarray(positions[:, 0]),
+            np.ascontiguousarray(positions[:, 1]),
+            np.ascontiguousarray(positions[:, 2]),
+            G * masses)
+
+
+def flat_gravity(
+    tree: FlatTree,
+    body_idx: np.ndarray,
+    positions: np.ndarray,
+    masses: np.ndarray,
+    theta: float,
+    eps: float,
+    open_self_cells: bool = False,
+    prepared: Optional[Tuple[np.ndarray, ...]] = None,
+) -> Tuple[np.ndarray, np.ndarray, Dict[str, float]]:
+    """Accelerations and interaction counts via level-synchronous traversal.
+
+    Semantically identical to
+    :func:`repro.octree.traverse.gravity_traversal` (same opening
+    criterion, same interaction sets, same ``work`` counts); returns an
+    extra dict of aggregate traversal counters:
+
+    * ``cell_tests``  -- (body, cell) opening tests evaluated,
+    * ``cell_accepts`` -- far cells used whole,
+    * ``cell_opens``  -- (body, cell) pairs expanded to children,
+    * ``leaf_interactions`` -- body-body interactions computed,
+    * ``levels``      -- frontier iterations (tree depth reached).
+    """
+    k = len(body_idx)
+    counters = {"cell_tests": 0.0, "cell_accepts": 0.0, "cell_opens": 0.0,
+                "leaf_interactions": 0.0, "levels": 0.0}
+    accx = np.zeros(k)
+    accy = np.zeros(k)
+    accz = np.zeros(k)
+    work = np.zeros(k)
+    if k == 0 or tree is None or tree.ncells == 0:
+        return np.stack([accx, accy, accz], axis=1), work, counters
+    ids = np.asarray(body_idx, dtype=np.int64)
+    # 1-D per-component position arrays: gathers below are tight C loops
+    if prepared is None:
+        prepared = prepare_bodies(positions, masses)
+    px, py, pz, gmass = prepared
+    gx, gy, gz = px[ids], py[ids], pz[ids]
+    eps_sq = eps * eps
+    theta_sq = theta * theta
+
+    # frontier of (body row, cell row) pairs; every body starts at the
+    # root.  ``rows`` stays sorted ascending through every expansion, so
+    # the bincount scatter-adds below stream through memory.
+    rows = np.arange(k, dtype=np.int64)
+    nodes = np.zeros(k, dtype=np.int64)
+
+    while rows.size:
+        counters["levels"] += 1
+        counters["cell_tests"] += rows.size
+        dx = tree.cx[nodes]
+        dx -= gx[rows]
+        dy = tree.cy[nodes]
+        dy -= gy[rows]
+        dz = tree.cz[nodes]
+        dz -= gz[rows]
+        dsq = dx * dx
+        dsq += dy * dy
+        dsq += dz * dz
+        far = tree.size_sq[nodes] < theta_sq * dsq
+        if open_self_cells:
+            half = tree.half[nodes]
+            inside = np.abs(gx[rows] - tree.ctx[nodes]) <= half
+            inside &= np.abs(gy[rows] - tree.cty[nodes]) <= half
+            inside &= np.abs(gz[rows] - tree.ctz[nodes]) <= half
+            far &= ~inside
+        n_far = int(far.sum())
+        if n_far:
+            counters["cell_accepts"] += n_far
+            sel = rows[far]
+            dq = dsq[far]
+            dq += eps_sq
+            inv = tree.gmass[nodes[far]]
+            inv /= dq * np.sqrt(dq)
+            accx += np.bincount(sel, weights=dx[far] * inv, minlength=k)
+            accy += np.bincount(sel, weights=dy[far] * inv, minlength=k)
+            accz += np.bincount(sel, weights=dz[far] * inv, minlength=k)
+            work += np.bincount(sel, minlength=k)
+        if n_far == rows.size:
+            break
+        near = ~far
+        op_rows = rows[near]
+        op_nodes = nodes[near]
+        counters["cell_opens"] += op_rows.size
+
+        # leaf children: body-body interactions over the fused spans
+        lcounts = tree.lb_ptr[op_nodes + 1] - tree.lb_ptr[op_nodes]
+        if lcounts.any():
+            rows2 = np.repeat(op_rows, lcounts)
+            src = tree.lb_data[_ranges(tree.lb_ptr[op_nodes], lcounts)]
+            ldx = px[src]
+            ldx -= gx[rows2]
+            ldy = py[src]
+            ldy -= gy[rows2]
+            ldz = pz[src]
+            ldz -= gz[rows2]
+            ldsq = ldx * ldx
+            ldsq += ldy * ldy
+            ldsq += ldz * ldz
+            ldsq += eps_sq
+            inv = gmass[src]
+            inv /= ldsq * np.sqrt(ldsq)
+            eq = src == ids[rows2]
+            n_eq = int(eq.sum())
+            if n_eq:
+                inv[eq] = 0.0
+            counters["leaf_interactions"] += rows2.size - n_eq
+            accx += np.bincount(rows2, weights=ldx * inv, minlength=k)
+            accy += np.bincount(rows2, weights=ldy * inv, minlength=k)
+            accz += np.bincount(rows2, weights=ldz * inv, minlength=k)
+            work += np.bincount(rows2, minlength=k)
+            if n_eq:
+                work -= np.bincount(rows2[eq], minlength=k)
+
+        # cell children: the next level's frontier
+        ccounts = tree.cell_ptr[op_nodes + 1] - tree.cell_ptr[op_nodes]
+        rows = np.repeat(op_rows, ccounts)
+        nodes = tree.cell_data[_ranges(tree.cell_ptr[op_nodes], ccounts)]
+
+    return np.stack([accx, accy, accz], axis=1), work, counters

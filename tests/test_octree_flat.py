@@ -1,0 +1,182 @@
+"""FlatTree structure + level-synchronous traversal parity.
+
+The flat engine must produce the *same interaction sets* as the scalar
+recursion (``work`` counts equal exactly) with accelerations equal to
+float64 round-off, for every theta / opening-rule / subset combination.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nbody.bbox import compute_root
+from repro.nbody.plummer import plummer
+from repro.octree.build import build_tree
+from repro.octree.cell import Cell, Leaf
+from repro.octree.cofm import compute_cofm
+from repro.octree.flat import (
+    EMPTY,
+    FlatTree,
+    check_flat_tree,
+    decode_leaf,
+    encode_leaf,
+    flat_gravity,
+)
+from repro.octree.traverse import gravity_traversal
+from repro.octree.validate import check_tree
+
+
+@pytest.fixture()
+def flat256(tree256):
+    return FlatTree.from_cell(tree256)
+
+
+class TestFlatTreeStructure:
+    def test_counts_match_object_tree(self, tree256, flat256):
+        assert flat256.ncells == tree256.count_cells()
+        assert flat256.nleaves == sum(1 for _ in tree256.iter_leaves())
+        assert np.array_equal(np.sort(flat256.leaf_bodies),
+                              np.arange(256))
+
+    def test_row0_is_root(self, tree256, flat256):
+        assert np.array_equal(flat256.center[0], tree256.center)
+        assert flat256.size[0] == tree256.size
+        assert flat256.mass[0] == pytest.approx(tree256.mass)
+        assert int(flat256.nbodies[0]) == 256
+
+    def test_every_node_matches_source_cell(self, tree256, flat256):
+        # replay the BFS flattening order and compare every field/slot
+        order = [tree256]
+        row = 0
+        next_leaf = 0
+        while row < len(order):
+            cell = order[row]
+            assert np.array_equal(flat256.center[row], cell.center)
+            assert flat256.size[row] == cell.size
+            assert flat256.mass[row] == cell.mass
+            assert np.array_equal(flat256.cofm[row], cell.cofm)
+            assert int(flat256.nbodies[row]) == cell.nbodies
+            assert flat256.cost[row] == cell.cost
+            for slot, ch in enumerate(cell.children):
+                enc = flat256.child[row, slot]
+                if ch is None:
+                    assert enc == EMPTY
+                elif isinstance(ch, Leaf):
+                    assert enc == encode_leaf(next_leaf)
+                    assert list(flat256.leaf_slice(next_leaf)) == ch.indices
+                    next_leaf += 1
+                else:
+                    assert enc == len(order)
+                    order.append(ch)
+            row += 1
+        assert row == flat256.ncells
+        assert next_leaf == flat256.nleaves
+
+    def test_invariants_object_and_flat(self, bodies256, tree256, flat256):
+        # validate.py on the source tree and the array mirror on the flat
+        check_tree(tree256, bodies256.pos, bodies256.mass,
+                   expected_indices=np.arange(256), check_cofm=True)
+        check_flat_tree(flat256, bodies256.pos, bodies256.mass)
+
+    def test_csr_views_consistent(self, flat256):
+        assert flat256.cell_ptr[-1] == len(flat256.cell_data)
+        assert len(flat256.cell_data) == flat256.ncells - 1
+        assert flat256.lb_ptr[-1] == len(flat256.lb_data)
+        assert np.array_equal(np.sort(flat256.lb_data), np.arange(256))
+        # every cell's fused leaf-body span equals its leaf children
+        for row in range(flat256.ncells):
+            want = [b for v in flat256.child[row] if v <= -2
+                    for b in flat256.leaf_slice(int(decode_leaf(v)))]
+            got = flat256.lb_data[flat256.lb_ptr[row]:
+                                  flat256.lb_ptr[row + 1]]
+            assert list(got) == want
+
+    def test_from_bodies_equals_manual_build(self, bodies256):
+        box = compute_root(bodies256.pos)
+        ft = FlatTree.from_bodies(bodies256.pos, bodies256.mass, box,
+                                  bodies256.cost)
+        root = build_tree(bodies256.pos, box)
+        compute_cofm(root, bodies256.pos, bodies256.mass, bodies256.cost)
+        ref = FlatTree.from_cell(root)
+        assert np.array_equal(ft.child, ref.child)
+        assert np.array_equal(ft.cofm, ref.cofm)
+        assert np.array_equal(ft.leaf_bodies, ref.leaf_bodies)
+
+    def test_encode_decode_roundtrip(self):
+        ids = np.arange(10)
+        assert np.array_equal(decode_leaf(np.array(
+            [encode_leaf(int(i)) for i in ids])), ids)
+
+
+class TestFlatGravityParity:
+    @pytest.mark.parametrize("theta", [0.3, 0.7, 1.0, 1.5])
+    @pytest.mark.parametrize("open_self", [False, True])
+    def test_matches_scalar_recursion(self, bodies256, tree256, flat256,
+                                      theta, open_self):
+        idx = np.arange(256)
+        a0, w0 = gravity_traversal(tree256, idx, bodies256.pos,
+                                   bodies256.mass, theta, 0.05,
+                                   open_self_cells=open_self)
+        a1, w1, counters = flat_gravity(flat256, idx, bodies256.pos,
+                                        bodies256.mass, theta, 0.05,
+                                        open_self_cells=open_self)
+        assert np.array_equal(w0, w1), "interaction sets differ"
+        assert np.abs(a0 - a1).max() < 1e-12
+        assert counters["cell_tests"] >= counters["cell_accepts"]
+        assert counters["leaf_interactions"] == pytest.approx(
+            w1.sum() - counters["cell_accepts"])
+
+    def test_subset_of_bodies(self, bodies256, tree256, flat256):
+        idx = np.arange(256)[5::7]
+        a0, w0 = gravity_traversal(tree256, idx, bodies256.pos,
+                                   bodies256.mass, 1.0, 0.05)
+        a1, w1, _ = flat_gravity(flat256, idx, bodies256.pos,
+                                 bodies256.mass, 1.0, 0.05)
+        assert np.array_equal(w0, w1)
+        assert np.abs(a0 - a1).max() < 1e-12
+
+    def test_empty_group(self, bodies256, flat256):
+        acc, work, counters = flat_gravity(
+            flat256, np.empty(0, dtype=np.int64), bodies256.pos,
+            bodies256.mass, 1.0, 0.05)
+        assert acc.shape == (0, 3) and work.shape == (0,)
+        assert counters["levels"] == 0
+
+    def test_bucket_leaves_coincident_bodies(self):
+        # bodies stacked past MAX_DEPTH degrade to bucket leaves; the
+        # flat engine must expand the spans identically
+        rng = np.random.default_rng(11)
+        pos = np.vstack([np.zeros((6, 3)), rng.normal(size=(40, 3)) * 0.4])
+        mass = np.full(len(pos), 1.0 / len(pos))
+        box = compute_root(pos)
+        root = build_tree(pos, box)
+        compute_cofm(root, pos, mass)
+        ft = FlatTree.from_cell(root)
+        check_flat_tree(ft, pos, mass)
+        assert int(np.diff(ft.leaf_ptr).max()) >= 6
+        idx = np.arange(len(pos))
+        a0, w0 = gravity_traversal(root, idx, pos, mass, 1.0, 0.05)
+        a1, w1, _ = flat_gravity(ft, idx, pos, mass, 1.0, 0.05)
+        assert np.array_equal(w0, w1)
+        assert np.abs(a0 - a1).max() < 1e-12
+
+    def test_single_body_tree(self):
+        pos = np.array([[0.1, 0.2, 0.3]])
+        mass = np.ones(1)
+        box = compute_root(pos)
+        root = build_tree(pos, box)
+        compute_cofm(root, pos, mass)
+        ft = FlatTree.from_cell(root)
+        acc, work, _ = flat_gravity(ft, np.array([0]), pos, mass, 1.0, 0.05)
+        assert np.all(acc == 0.0) and work[0] == 0.0
+
+    def test_larger_sphere_spot_check(self):
+        b = plummer(1024, seed=9)
+        box = compute_root(b.pos)
+        root = build_tree(b.pos, box)
+        compute_cofm(root, b.pos, b.mass, b.cost)
+        ft = FlatTree.from_cell(root)
+        idx = np.arange(1024)
+        a0, w0 = gravity_traversal(root, idx, b.pos, b.mass, 1.0, 0.05)
+        a1, w1, _ = flat_gravity(ft, idx, b.pos, b.mass, 1.0, 0.05)
+        assert np.array_equal(w0, w1)
+        assert np.abs(a0 - a1).max() < 1e-12
