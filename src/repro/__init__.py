@@ -7,6 +7,7 @@ Layers (see DESIGN.md):
 * :mod:`repro.nbody`  -- physics substrate (Plummer, kernels, integrator)
 * :mod:`repro.octree` -- tree substrate (build, c-of-m, traversal, costzones)
 * :mod:`repro.core`   -- the paper's optimization ladder (L0 baseline .. L6 subspace)
+* :mod:`repro.obs`    -- telemetry (span tracing, metrics registry, exporters)
 * :mod:`repro.experiments` -- runners for every table and figure in the paper
 
 Quickstart::
@@ -27,6 +28,7 @@ from .core import (
     get_variant,
     run_variant,
 )
+from .obs import MetricsRegistry, Tracer, telemetry_session, use_tracer
 from .upc import MachineConfig, UpcRuntime
 
 __version__ = "1.0.0"
@@ -37,14 +39,18 @@ __all__ = [
     "BarnesHutSimulation",
     "ForceBackend",
     "MachineConfig",
+    "MetricsRegistry",
     "OPT_LADDER",
     "PhaseTimes",
     "RunResult",
+    "Tracer",
     "UpcRuntime",
     "VARIANTS",
     "get_backend",
     "get_variant",
     "make_backend",
     "run_variant",
+    "telemetry_session",
+    "use_tracer",
     "__version__",
 ]

@@ -27,6 +27,7 @@ from typing import Any, ClassVar, Dict, Optional
 import numpy as np
 
 from ..nbody.bodies import BodySoA
+from ..obs.trace import get_tracer
 from ..octree.cell import Cell
 
 
@@ -56,8 +57,12 @@ class ForceBackend:
     #: False for engines that ignore the octree entirely (direct summation)
     needs_tree: ClassVar[bool] = True
 
-    def __init__(self, cfg: Any):
+    def __init__(self, cfg: Any, tracer=None):
         self.cfg = cfg
+        #: span sink for per-call telemetry; the ambient (no-op unless a
+        #: telemetry session is active) tracer when not given.  Callers may
+        #: reassign after construction (BarnesHutSimulation does).
+        self.tracer = tracer if tracer is not None else get_tracer()
 
     def begin_step(self, root: Optional[Cell], bodies: BodySoA) -> None:
         """Per-step preparation; called once after the tree is finished."""

@@ -25,20 +25,37 @@ class DirectBackend(ForceBackend):
     name = "direct"
     needs_tree = False
 
-    def __init__(self, cfg):
-        super().__init__(cfg)
+    def __init__(self, cfg, tracer=None):
+        super().__init__(cfg, tracer=tracer)
         self._acc: Optional[np.ndarray] = None
         self._n = 0
 
     def begin_step(self, root: Optional[Cell], bodies: BodySoA) -> None:
-        self._acc = direct_acc(bodies.pos, bodies.mass, self.cfg.eps)
+        tr = self.tracer
+        if tr.enabled:
+            with tr.span("direct.presum", "backend", nbodies=len(bodies)):
+                self._acc = direct_acc(bodies.pos, bodies.mass,
+                                       self.cfg.eps)
+        else:
+            self._acc = direct_acc(bodies.pos, bodies.mass, self.cfg.eps)
         self._n = len(bodies)
 
     def accelerations(self, body_idx: np.ndarray,
                       bodies: BodySoA) -> ForceResult:
+        tr = self.tracer
+        if tr.enabled:
+            tr.begin("direct.accelerations", "backend",
+                     nbodies=len(body_idx))
+            try:
+                return self._slice(body_idx, len(bodies))
+            finally:
+                tr.end()
+        return self._slice(body_idx, len(bodies))
+
+    def _slice(self, body_idx: np.ndarray, nbodies: int) -> ForceResult:
         # no lazy fallback: positions mutate in place between steps, so a
         # missing begin_step would silently serve stale forces
-        if self._acc is None or self._n != len(bodies):
+        if self._acc is None or self._n != nbodies:
             raise RuntimeError(
                 "DirectBackend.accelerations requires begin_step() for the "
                 "current bodies first")

@@ -29,22 +29,40 @@ class FlatBackend(ForceBackend):
 
     name = "flat"
 
-    def __init__(self, cfg):
-        super().__init__(cfg)
+    def __init__(self, cfg, tracer=None):
+        super().__init__(cfg, tracer=tracer)
         self.tree: Optional[FlatTree] = None
         self._prepared = None
+        #: FlatTree memory footprint per step (feeds run metrics)
+        self.tree_nbytes_per_step: list = []
 
     def begin_step(self, root: Optional[Cell], bodies: BodySoA) -> None:
+        tr = self.tracer
+        traced = tr.enabled
+        if traced:
+            tr.begin("flat.begin_step", "backend")
         self.tree = FlatTree.from_cell(root) if root is not None else None
         # body-side arrays are shared by every thread group of the step
         self._prepared = prepare_bodies(bodies.pos, bodies.mass)
+        nbytes = self.tree.nbytes if self.tree is not None else 0
+        self.tree_nbytes_per_step.append(nbytes)
+        if traced:
+            tr.end(tree_cells=self.tree.ncells if self.tree else 0,
+                   tree_nbytes=nbytes)
 
     def accelerations(self, body_idx: np.ndarray,
                       bodies: BodySoA) -> ForceResult:
+        tr = self.tracer
+        traced = tr.enabled
+        if traced:
+            tr.begin("flat.accelerations", "backend", nbodies=len(body_idx))
         acc, work, counters = flat_gravity(
             self.tree, body_idx, bodies.pos, bodies.mass,
             self.cfg.theta, self.cfg.eps,
             open_self_cells=self.cfg.open_self_cells,
             prepared=self._prepared,
+            tracer=tr if traced else None,
         )
+        if traced:
+            tr.end(interactions=float(work.sum()), **counters)
         return ForceResult(acc=acc, work=work, counters=counters)

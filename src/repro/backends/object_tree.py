@@ -26,8 +26,8 @@ class ObjectTreeBackend(ForceBackend):
 
     name = "object-tree"
 
-    def __init__(self, cfg):
-        super().__init__(cfg)
+    def __init__(self, cfg, tracer=None):
+        super().__init__(cfg, tracer=tracer)
         self.root: Optional[Cell] = None
 
     def begin_step(self, root: Optional[Cell], bodies: BodySoA) -> None:
@@ -36,9 +36,16 @@ class ObjectTreeBackend(ForceBackend):
     def accelerations(self, body_idx: np.ndarray,
                       bodies: BodySoA,
                       policy: Optional[TraversalPolicy] = None) -> ForceResult:
+        tr = self.tracer
+        traced = tr.enabled
+        if traced:
+            tr.begin("object-tree.accelerations", "backend",
+                     nbodies=len(body_idx))
         acc, work = gravity_traversal(
             self.root, body_idx, bodies.pos, bodies.mass,
             self.cfg.theta, self.cfg.eps, policy,
             open_self_cells=self.cfg.open_self_cells,
         )
+        if traced:
+            tr.end(interactions=float(work.sum()))
         return ForceResult(acc=acc, work=work)

@@ -36,6 +36,10 @@ def get_backend(name: str) -> Type[ForceBackend]:
         ) from None
 
 
-def make_backend(name: str, cfg: Any) -> ForceBackend:
-    """Instantiate a backend for one simulation's configuration."""
-    return get_backend(name)(cfg)
+def make_backend(name: str, cfg: Any, tracer: Any = None) -> ForceBackend:
+    """Instantiate a backend for one simulation's configuration.
+
+    ``tracer`` is an optional :class:`repro.obs.trace.Tracer` for per-call
+    spans; the ambient tracer is used when omitted.
+    """
+    return get_backend(name)(cfg, tracer=tracer)

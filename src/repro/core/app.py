@@ -7,6 +7,14 @@ from typing import Optional, Type, Union
 
 from ..nbody.bodies import BodySoA
 from ..nbody.distributions import make_distribution
+from ..obs import (
+    MetricsRegistry,
+    RunTelemetry,
+    collect_run_metrics,
+    collect_span_metrics,
+    get_registry,
+    get_tracer,
+)
 from ..upc.params import MachineConfig
 from ..upc.runtime import UpcRuntime
 from ..upc.stats import StatsLog
@@ -29,6 +37,8 @@ class RunResult:
     bodies: BodySoA
     #: per-step migration fractions, merge imbalance data, etc.
     variant_stats: dict = field(default_factory=dict)
+    #: unified metrics registry + this run's spans (see :mod:`repro.obs`)
+    telemetry: Optional[RunTelemetry] = None
 
     @property
     def total_time(self) -> float:
@@ -36,6 +46,12 @@ class RunResult:
 
     def counter(self, key: str, phase: Optional[str] = None) -> float:
         return self.log.counter_total(key, phase)
+
+    def metric(self, name: str, **labels) -> float:
+        """Convenience lookup into ``telemetry.metrics``."""
+        if self.telemetry is None:
+            return 0.0
+        return self.telemetry.metrics.value(name, **labels)
 
 
 def make_bodies(cfg: BHConfig) -> BodySoA:
@@ -50,10 +66,12 @@ class BarnesHutSimulation:
     def __init__(self, cfg: BHConfig, nthreads: int,
                  machine: Optional[MachineConfig] = None,
                  variant: Union[str, Type[VariantBase]] = "subspace",
-                 bodies: Optional[BodySoA] = None):
+                 bodies: Optional[BodySoA] = None,
+                 tracer=None):
         self.cfg = cfg
         self.machine = machine if machine is not None else MachineConfig()
-        self.rt = UpcRuntime(nthreads, self.machine)
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.rt = UpcRuntime(nthreads, self.machine, tracer=self.tracer)
         self.bodies = bodies.copy() if bodies is not None else make_bodies(cfg)
         vcls = get_variant(variant) if isinstance(variant, str) else variant
         self.variant = vcls(self.rt, self.bodies, cfg)
@@ -61,8 +79,14 @@ class BarnesHutSimulation:
     def run(self) -> RunResult:
         """Run all steps; phase times cover only the measured steps."""
         cfg = self.cfg
-        for step in range(cfg.nsteps):
-            self.variant.step(step)
+        tr = self.tracer
+        span0 = len(tr.spans) if tr.enabled else 0
+        with tr.span("run", "run", variant=self.variant.name,
+                     nthreads=self.rt.nthreads, nbodies=cfg.nbodies,
+                     backend=cfg.force_backend):
+            for step in range(cfg.nsteps):
+                with tr.span("step", "step", step=step):
+                    self.variant.step(step)
         measured = list(range(cfg.warmup_steps, cfg.nsteps))
         pt = PhaseTimes.from_log(self.rt.log, measured)
         stats = {
@@ -75,6 +99,11 @@ class BarnesHutSimulation:
         if hasattr(self.variant, "subspace_counts"):
             stats["subspace_counts"] = list(self.variant.subspace_counts)
             stats["level_counts"] = list(self.variant.level_counts)
+        nbytes = getattr(self.variant.force_backend,
+                         "tree_nbytes_per_step", None)
+        if nbytes:
+            stats["flat_tree_nbytes"] = list(nbytes)
+        telemetry = self._collect_telemetry(stats, span0)
         return RunResult(
             config=cfg,
             variant=self.variant.name,
@@ -84,13 +113,32 @@ class BarnesHutSimulation:
             log=self.rt.log,
             bodies=self.bodies,
             variant_stats=stats,
+            telemetry=telemetry,
         )
+
+    def _collect_telemetry(self, stats: dict, span0: int) -> RunTelemetry:
+        """Fold this run's StatsLog (and spans, when traced) into a fresh
+        registry; mirror into the ambient session registry if one is
+        installed (the CLI's ``--metrics`` sink)."""
+        spans = list(self.tracer.spans[span0:]) if self.tracer.enabled \
+            else []
+        registry = MetricsRegistry()
+        collect_run_metrics(registry, self.rt.log, stats,
+                            nthreads=self.rt.nthreads)
+        if spans:
+            collect_span_metrics(registry, spans)
+        ambient = get_registry()
+        if ambient is not None and ambient is not registry:
+            collect_run_metrics(ambient, self.rt.log, stats,
+                                nthreads=self.rt.nthreads)
+        return RunTelemetry(metrics=registry, spans=spans)
 
 
 def run_variant(variant: Union[str, Type[VariantBase]], cfg: BHConfig,
                 nthreads: int, machine: Optional[MachineConfig] = None,
-                bodies: Optional[BodySoA] = None) -> RunResult:
+                bodies: Optional[BodySoA] = None,
+                tracer=None) -> RunResult:
     """Convenience one-call runner (the main public entry point)."""
     sim = BarnesHutSimulation(cfg, nthreads, machine=machine,
-                              variant=variant, bodies=bodies)
+                              variant=variant, bodies=bodies, tracer=tracer)
     return sim.run()

@@ -45,7 +45,14 @@ class AsyncAgg(LocalBuild):
             if len(idx) == 0:
                 continue
             self.charge_body_words(t, idx, BODY_FORCE_WORDS)
-            acc, work, stats = frontier_force(self, engine, t, idx)
+            tr = rt.tracer
+            if tr.enabled:
+                tr.begin("async.frontier_force", "backend", tid=t,
+                         nbodies=len(idx))
+                acc, work, stats = frontier_force(self, engine, t, idx)
+                tr.end(interactions=float(work.sum()))
+            else:
+                acc, work, stats = frontier_force(self, engine, t, idx)
             bodies.acc[idx] = acc
             new_cost[idx] = np.maximum(work, 1.0)
             step_stats.append(stats)

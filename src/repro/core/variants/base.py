@@ -101,7 +101,8 @@ class VariantBase:
         self.ncells = 1
         #: force engine; "object-tree" keeps the policy-instrumented call
         #: path below, any other backend takes over the force phase
-        self.force_backend = make_backend(cfg.force_backend, cfg)
+        self.force_backend = make_backend(cfg.force_backend, cfg,
+                                          tracer=rt.tracer)
 
     # ------------------------------------------------------------------ #
     # plumbing                                                           #
@@ -348,6 +349,8 @@ class VariantBase:
             return
         rt = self.rt
         bodies = self.bodies
+        tr = rt.tracer
+        traced = tr.enabled
         new_cost = bodies.cost.copy()
         for t in range(self.P):
             idx = self.assigned(t)
@@ -355,11 +358,16 @@ class VariantBase:
                 continue
             self.charge_body_words(t, idx, BODY_FORCE_WORDS)
             policy = self.make_force_policy(t)
+            if traced:
+                tr.begin("object-tree.traversal", "backend", tid=t,
+                         nbodies=len(idx))
             acc, work = gravity_traversal(
                 self.force_root(t), idx, bodies.pos, bodies.mass,
                 self.cfg.theta, self.cfg.eps, policy,
                 open_self_cells=self.cfg.open_self_cells,
             )
+            if traced:
+                tr.end(interactions=float(work.sum()))
             policy.flush()
             bodies.acc[idx] = acc
             new_cost[idx] = np.maximum(work, 1.0)

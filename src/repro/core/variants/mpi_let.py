@@ -247,6 +247,8 @@ class MpiLet(AsyncAgg):
             return
         rt = self.rt
         bodies = self.bodies
+        tr = rt.tracer
+        traced = tr.enabled
         new_cost = bodies.cost.copy()
         for t in range(self.P):
             idx = self.assigned(t)
@@ -254,11 +256,16 @@ class MpiLet(AsyncAgg):
                 continue
             self.charge_body_words(t, idx, BODY_POS_WORDS * 2)
             policy = LetLocalPolicy(self, t)
+            if traced:
+                tr.begin("mpi-let.traversal", "backend", tid=t,
+                         nbodies=len(idx))
             acc, work = gravity_traversal(
                 self.root, idx, bodies.pos, bodies.mass,
                 self.cfg.theta, self.cfg.eps, policy,
                 open_self_cells=self.cfg.open_self_cells,
             )
+            if traced:
+                tr.end(interactions=float(work.sum()))
             policy.flush()
             bodies.acc[idx] = acc
             new_cost[idx] = np.maximum(work, 1.0)

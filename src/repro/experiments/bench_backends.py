@@ -11,6 +11,15 @@ can track the trajectory::
 
     repro-bench                      # or: python -m repro.experiments.bench_backends
     repro-bench --sizes 1024 4096 --repeats 5 --out BENCH_backends.json
+
+Regression-check mode compares a fresh run against the stored trajectory
+and exits non-zero on a >25% wall-clock regression or any
+interaction-count drift::
+
+    repro-bench --baseline BENCH_backends.json --check
+
+``--trace FILE`` / ``--metrics FILE`` capture span traces (Chrome
+trace-event JSON) and a metrics JSONL of the benchmark itself.
 """
 
 from __future__ import annotations
@@ -52,8 +61,18 @@ def bench_backends(sizes: "List[int]" = (1024, 4096, 16384),
                    repeats: int = 3, seed: int = 123,
                    theta: float = DEFAULT_THETA, eps: float = DEFAULT_EPS,
                    distribution: str = "plummer",
-                   verbose: bool = True) -> dict:
-    """Time tree build + force phase per backend; return the report dict."""
+                   verbose: bool = True, tracer=None) -> dict:
+    """Time tree build + force phase per backend; return the report dict.
+
+    ``tracer`` (optional :class:`repro.obs.trace.Tracer`) records one
+    ``backend``-category span per timed section plus the flat engine's
+    per-level traversal spans.
+    """
+    from ..obs.metrics import get_registry
+    from ..obs.trace import NULL_TRACER
+
+    tr = tracer if tracer is not None else NULL_TRACER
+    registry = get_registry()
     report = {
         "schema": "repro-bench-backends/1",
         "config": {"sizes": list(sizes), "repeats": repeats, "seed": seed,
@@ -71,14 +90,21 @@ def bench_backends(sizes: "List[int]" = (1024, 4096, 16384),
             compute_cofm(root, bodies.pos, bodies.mass, bodies.cost)
             return root
 
-        obj_build_s, root = _best(build_object, repeats)
-        flatten_s, ftree = _best(lambda: FlatTree.from_cell(root), repeats)
-        obj_force_s, (obj_acc, obj_work) = _best(
-            lambda: gravity_traversal(root, idx, bodies.pos, bodies.mass,
-                                      theta, eps), repeats)
-        flat_force_s, (flat_acc, flat_work, _) = _best(
-            lambda: flat_gravity(ftree, idx, bodies.pos, bodies.mass,
-                                 theta, eps), repeats)
+        with tr.span("bench.build.object", "backend", n=n):
+            obj_build_s, root = _best(build_object, repeats)
+        with tr.span("bench.flatten", "backend", n=n):
+            flatten_s, ftree = _best(lambda: FlatTree.from_cell(root),
+                                     repeats)
+        with tr.span("bench.force.object", "backend", n=n):
+            obj_force_s, (obj_acc, obj_work) = _best(
+                lambda: gravity_traversal(root, idx, bodies.pos,
+                                          bodies.mass, theta, eps), repeats)
+        with tr.span("bench.force.flat", "backend", n=n):
+            flat_force_s, (flat_acc, flat_work, _) = _best(
+                lambda: flat_gravity(ftree, idx, bodies.pos, bodies.mass,
+                                     theta, eps,
+                                     tracer=tr if tr.enabled else None),
+                repeats)
         rows = [
             {"n": n, "backend": "object-tree", "build_s": obj_build_s,
              "force_s": obj_force_s,
@@ -105,6 +131,17 @@ def bench_backends(sizes: "List[int]" = (1024, 4096, 16384),
             rows.append({"n": n, "backend": "direct", "skipped":
                          f"n > {DIRECT_MAX_N} (O(n^2))"})
         report["results"].extend(rows)
+        if registry is not None:
+            for r in rows:
+                if "force_s" not in r:
+                    continue
+                labels = {"n": r["n"], "backend": r["backend"]}
+                registry.gauge("bench_build_seconds", **labels) \
+                    .set(r["build_s"])
+                registry.gauge("bench_force_seconds", **labels) \
+                    .set(r["force_s"])
+                registry.gauge("bench_interactions", **labels) \
+                    .set(r["interactions"])
         if verbose:
             for r in rows:
                 if "skipped" in r:
@@ -121,6 +158,48 @@ def bench_backends(sizes: "List[int]" = (1024, 4096, 16384),
     return report
 
 
+#: --check fails on wall-clock regressions beyond this fraction
+WALL_REGRESSION_TOLERANCE = 0.25
+
+
+def compare_to_baseline(current: dict, baseline: dict,
+                        tolerance: float = WALL_REGRESSION_TOLERANCE
+                        ) -> "List[str]":
+    """Regression findings of ``current`` vs ``baseline`` (empty = clean).
+
+    A finding is either a wall-clock regression (``build_s``/``force_s``
+    more than ``tolerance`` above the stored value) or *any* drift in the
+    deterministic interaction counts -- those depend only on (seed, theta,
+    distribution), so a change means the traversal semantics changed.
+    Rows are matched on ``(n, backend)``; rows present on one side only
+    are ignored (sizes are configurable).
+    """
+    failures: List[str] = []
+    base = {(r["n"], r["backend"]): r
+            for r in baseline.get("results", []) if "force_s" in r}
+    for r in current.get("results", []):
+        if "force_s" not in r:
+            continue
+        b = base.get((r["n"], r["backend"]))
+        if b is None:
+            continue
+        tag = f"n={r['n']} {r['backend']}"
+        for clock in ("build_s", "force_s"):
+            if clock in b and clock in r and b[clock] > 0:
+                ratio = r[clock] / b[clock]
+                if ratio > 1.0 + tolerance:
+                    failures.append(
+                        f"{tag}: {clock} regressed {ratio:.2f}x "
+                        f"({b[clock]:.4f}s -> {r[clock]:.4f}s, "
+                        f"tolerance {1 + tolerance:.2f}x)")
+        if "interactions" in b and "interactions" in r \
+                and r["interactions"] != b["interactions"]:
+            failures.append(
+                f"{tag}: interaction count drifted "
+                f"({b['interactions']:.0f} -> {r['interactions']:.0f})")
+    return failures
+
+
 def main(argv: "Optional[List[str]]" = None) -> int:
     ap = argparse.ArgumentParser(
         prog="repro-bench",
@@ -133,14 +212,54 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     ap.add_argument("--theta", type=float, default=DEFAULT_THETA)
     ap.add_argument("--eps", type=float, default=DEFAULT_EPS)
     ap.add_argument("--distribution", default="plummer")
-    ap.add_argument("--out", default="BENCH_backends.json",
-                    help="output JSON path (default: repo root when run "
-                         "from there)")
+    ap.add_argument("--out", default=None,
+                    help="output JSON path (default: BENCH_backends.json; "
+                         "in --check mode the report is only written when "
+                         "--out is given explicitly)")
+    ap.add_argument("--baseline", default=None, metavar="FILE",
+                    help="stored trajectory to compare against (with "
+                         "--check)")
+    ap.add_argument("--check", action="store_true",
+                    help="regression-check mode: compare against "
+                         "--baseline; exit non-zero on a >25%% wall-clock "
+                         "regression or any interaction-count drift")
+    ap.add_argument("--trace", default=None, metavar="FILE",
+                    help="write a Chrome trace-event JSON of the "
+                         "benchmark (open in Perfetto)")
+    ap.add_argument("--metrics", default=None, metavar="FILE",
+                    help="write benchmark metrics as JSONL")
     args = ap.parse_args(argv)
-    report = bench_backends(sizes=args.sizes, repeats=args.repeats,
-                            seed=args.seed, theta=args.theta, eps=args.eps,
-                            distribution=args.distribution)
-    out = Path(args.out)
+    if args.check and not args.baseline:
+        ap.error("--check requires --baseline FILE")
+
+    from ..obs import telemetry_session
+
+    with telemetry_session(trace=args.trace, metrics=args.metrics,
+                           run_info={"tool": "repro-bench",
+                                     "sizes": list(args.sizes)}
+                           ) as (tracer, _):
+        report = bench_backends(
+            sizes=args.sizes, repeats=args.repeats, seed=args.seed,
+            theta=args.theta, eps=args.eps,
+            distribution=args.distribution,
+            tracer=tracer if tracer.enabled else None)
+
+    if args.check:
+        baseline = json.loads(Path(args.baseline).read_text())
+        failures = compare_to_baseline(report, baseline)
+        if args.out is not None:
+            Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        if failures:
+            print(f"REGRESSION CHECK FAILED vs {args.baseline}:")
+            for f in failures:
+                print(f"  - {f}")
+            return 1
+        print(f"regression check passed vs {args.baseline} "
+              f"(wall tolerance {WALL_REGRESSION_TOLERANCE:.0%}, "
+              f"interaction counts exact)")
+        return 0
+
+    out = Path(args.out if args.out is not None else "BENCH_backends.json")
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")
     return 0

@@ -132,17 +132,32 @@ def main(argv: "List[str] | None" = None) -> int:
     ap.add_argument("--scale", default="bench", choices=list(SCALES))
     ap.add_argument("--out", default="results", help="output directory")
     ap.add_argument("--backend", default=None, choices=backend_names(),
-                    help="force backend for every run (default: object-tree)")
+                    help="force backend for every run (default: "
+                         "object-tree; --trace defaults this to flat)")
     ap.add_argument("--distribution", default=None,
                     choices=list(distribution_names()),
                     help="initial conditions for every run "
                          "(default: plummer)")
+    ap.add_argument("--trace", default=None, metavar="FILE",
+                    help="capture wall-clock span traces of every run to "
+                         "FILE (Chrome trace-event JSON; open in Perfetto). "
+                         "Unless --backend is given, switches the force "
+                         "engine to 'flat' so per-level traversal spans "
+                         "are recorded.")
+    ap.add_argument("--metrics", default=None, metavar="FILE",
+                    help="export the unified metrics registry (phase "
+                         "times, UPC/backend counters, traversal "
+                         "profiles) as JSONL to FILE")
     args = ap.parse_args(argv)
 
     scale = SCALES[args.scale]
     overrides = []
     if args.backend is not None:
         overrides.append(("force_backend", args.backend))
+    elif args.trace is not None:
+        # tracing targets the real wall-clock engine: the flat backend is
+        # the one with per-level traversal spans worth looking at
+        overrides.append(("force_backend", "flat"))
     if args.distribution is not None:
         overrides.append(("distribution", args.distribution))
     if overrides:
@@ -153,8 +168,13 @@ def main(argv: "List[str] | None" = None) -> int:
         return 2
     out = Path(args.out)
     cache: Dict[str, TableResult] = {}
-    for exp_id in ids:
-        run_one(exp_id, scale, out, cache)
+    from ..obs import phase_summary_markdown, telemetry_session
+
+    with telemetry_session(trace=args.trace, metrics=args.metrics,
+                           run_info={"ids": list(ids),
+                                     "scale": scale.name}) as (tracer, _):
+        for exp_id in ids:
+            run_one(exp_id, scale, out, cache)
 
     # shape-check summary when we have all tables
     if all(t in cache for t in ALL_TABLE_IDS):
@@ -164,6 +184,12 @@ def main(argv: "List[str] | None" = None) -> int:
             mark = "PASS" if c.ok else "FAIL"
             lines.append(f"- [{mark}] {c.name} -- {c.detail}")
         _write(out, "SHAPES", "\n".join(lines) + "\n")
+    if args.trace:
+        print(phase_summary_markdown(tracer))
+        print(f"wrote trace to {args.trace} "
+              f"(open at https://ui.perfetto.dev)")
+    if args.metrics:
+        print(f"wrote metrics to {args.metrics}")
     return 0
 
 

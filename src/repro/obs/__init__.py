@@ -1,0 +1,131 @@
+"""repro.obs -- the telemetry subsystem (tracing, metrics, exporters).
+
+Three pieces, deliberately independent of the simulation layers so every
+layer can import them without cycles:
+
+* :mod:`repro.obs.trace`   -- nested span tracer (run > step > phase >
+  backend call > traversal level) recording wall-clock and simulated time,
+  with a zero-overhead no-op path when disabled;
+* :mod:`repro.obs.metrics` -- a registry of counters/gauges/histograms plus
+  collectors that unify the scattered run measurements
+  (``StatsLog``/``ForceResult`` counters, per-level traversal profiles,
+  ``FlatTree`` footprints, migration fractions);
+* :mod:`repro.obs.export`  -- Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``), metrics JSONL, markdown phase summaries.
+
+The one-stop entry point is :func:`telemetry_session`::
+
+    from repro.obs import telemetry_session
+    with telemetry_session(trace="t.json", metrics="m.jsonl"):
+        run_variant("subspace", cfg, 16)
+    # t.json and m.jsonl written on exit
+
+See ``docs/observability.md`` for the workflow.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from .export import (
+    chrome_trace,
+    chrome_trace_events,
+    load_and_validate_chrome_trace,
+    metrics_jsonl_lines,
+    phase_summary_markdown,
+    read_metrics_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_run_metrics,
+    collect_span_metrics,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+
+@dataclass
+class RunTelemetry:
+    """Telemetry attached to one :class:`repro.core.app.RunResult`."""
+
+    #: per-run metrics (always collected; cheap -- folds the StatsLog)
+    metrics: MetricsRegistry
+    #: spans recorded by this run (empty when tracing is disabled)
+    spans: List[Span] = field(default_factory=list)
+
+    def phase_summary(self) -> str:
+        return phase_summary_markdown(self.spans)
+
+
+@contextmanager
+def telemetry_session(trace: "Optional[str]" = None,
+                      metrics: "Optional[str]" = None,
+                      run_info: Optional[dict] = None):
+    """Ambient tracing + metrics for a block of runs; export on exit.
+
+    ``trace``/``metrics`` are output paths (either may be ``None``); files
+    are written when the block exits, even on error, so a crashed run still
+    leaves its partial trace behind.  Yields ``(tracer, registry)``.
+    """
+    tracer: Union[Tracer, NullTracer] = Tracer() if trace else NULL_TRACER
+    registry = MetricsRegistry()
+    try:
+        with use_tracer(tracer), use_registry(registry):
+            yield tracer, registry
+    finally:
+        if isinstance(tracer, Tracer):
+            tracer.close_all()
+            collect_span_metrics(registry, tracer.spans)
+        if trace:
+            write_chrome_trace(trace, tracer)
+        if metrics:
+            write_metrics_jsonl(metrics, registry, run_info=run_info)
+
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "collect_run_metrics",
+    "collect_span_metrics",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "RunTelemetry",
+    "telemetry_session",
+    "chrome_trace",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "load_and_validate_chrome_trace",
+    "metrics_jsonl_lines",
+    "write_metrics_jsonl",
+    "read_metrics_jsonl",
+    "phase_summary_markdown",
+]

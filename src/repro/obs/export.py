@@ -1,0 +1,196 @@
+"""Exporters: Chrome trace-event JSON, metrics JSONL, markdown summaries.
+
+* :func:`write_chrome_trace` emits the Trace Event Format consumed by
+  Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``: one
+  "complete" (``"ph": "X"``) event per closed span, timestamps in
+  microseconds relative to the first span, simulated times and span
+  arguments under ``args``.
+* :func:`write_metrics_jsonl` dumps a :class:`~repro.obs.metrics
+  .MetricsRegistry` as one JSON object per line (header line first), the
+  format downstream dashboards and the ``--check`` regression gate consume.
+* :func:`phase_summary_markdown` renders the per-phase wall/simulated
+  breakdown as a table -- the shape of the paper's own phase grids.
+
+:func:`validate_chrome_trace` is the schema gate used by the tests and the
+CI smoke run; it checks both field-level validity and that same-track
+complete events strictly nest (Perfetto renders partial overlap wrongly).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from .metrics import MetricsRegistry
+from .trace import Span, Tracer
+
+METRICS_SCHEMA = "repro-metrics/1"
+
+
+def _spans_of(source: Union[Tracer, Iterable[Span]]) -> List[Span]:
+    spans = source.spans if isinstance(source, Tracer) else source
+    return sorted(spans, key=lambda s: (s.wall_ts, -s.wall_dur, s.depth))
+
+
+def chrome_trace_events(source: Union[Tracer, Iterable[Span]],
+                        pid: int = 1, tid: int = 1) -> List[dict]:
+    """Spans as Trace Event Format "complete" event dicts (ts/dur in us)."""
+    spans = _spans_of(source)
+    if not spans:
+        return []
+    t0 = spans[0].wall_ts
+    events = []
+    for sp in spans:
+        args: Dict[str, object] = dict(sp.args)
+        if sp.sim_ts is not None:
+            args["sim_ts_s"] = sp.sim_ts
+        if sp.sim_dur is not None:
+            args["sim_dur_s"] = sp.sim_dur
+        events.append({
+            "name": sp.name,
+            "cat": sp.cat,
+            "ph": "X",
+            "ts": (sp.wall_ts - t0) * 1e6,
+            "dur": sp.wall_dur * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+    return events
+
+
+def chrome_trace(source: Union[Tracer, Iterable[Span]],
+                 metadata: Optional[dict] = None) -> dict:
+    """The full JSON-object trace document."""
+    doc = {
+        "traceEvents": chrome_trace_events(source),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+    if metadata:
+        doc["otherData"].update(metadata)
+    return doc
+
+
+def write_chrome_trace(path: Union[str, Path],
+                       source: Union[Tracer, Iterable[Span]],
+                       metadata: Optional[dict] = None) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(source, metadata)) + "\n")
+    return path
+
+
+def validate_chrome_trace(doc: dict) -> int:
+    """Raise ``ValueError`` on schema problems; return the event count.
+
+    Checks the object form of the Trace Event Format: ``traceEvents`` is a
+    list; every event has string ``name``/``cat``/``ph``, numeric
+    non-negative ``ts``, and ``pid``/``tid``; complete events additionally
+    carry numeric non-negative ``dur`` and strictly nest per
+    ``(pid, tid)`` track.
+    """
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("trace must be a JSON object with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    tracks: Dict[tuple, List[tuple]] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event {i} is not an object")
+        for key, types in (("name", str), ("cat", str), ("ph", str)):
+            if not isinstance(ev.get(key), types):
+                raise ValueError(f"event {i}: missing/invalid {key!r}")
+        for key in ("ts", "pid", "tid"):
+            if not isinstance(ev.get(key), (int, float)):
+                raise ValueError(f"event {i}: missing/invalid {key!r}")
+        if ev["ts"] < 0:
+            raise ValueError(f"event {i}: negative ts")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            raise ValueError(f"event {i}: 'args' must be an object")
+        if ev["ph"] == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"event {i}: complete event needs "
+                                 f"non-negative 'dur'")
+            tracks.setdefault((ev["pid"], ev["tid"]), []).append(
+                (ev["ts"], ev["ts"] + dur, i))
+    # strict nesting per track: sweep intervals sorted by (start, -length)
+    for track, ivs in tracks.items():
+        ivs.sort(key=lambda t: (t[0], -(t[1] - t[0])))
+        stack: List[tuple] = []
+        for start, end, i in ivs:
+            while stack and start >= stack[-1][1]:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                raise ValueError(
+                    f"event {i} overlaps event {stack[-1][2]} without "
+                    f"nesting on track {track}")
+            stack.append((start, end, i))
+    return len(events)
+
+
+def load_and_validate_chrome_trace(path: Union[str, Path]) -> int:
+    """Parse + validate a trace file; returns its event count."""
+    return validate_chrome_trace(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------- #
+# metrics JSONL                                                          #
+# ---------------------------------------------------------------------- #
+def metrics_jsonl_lines(registry: MetricsRegistry,
+                        run_info: Optional[dict] = None) -> List[str]:
+    header = {"schema": METRICS_SCHEMA}
+    if run_info:
+        header["run"] = run_info
+    lines = [json.dumps(header)]
+    lines.extend(json.dumps(entry) for entry in registry.snapshot())
+    return lines
+
+
+def write_metrics_jsonl(path: Union[str, Path], registry: MetricsRegistry,
+                        run_info: Optional[dict] = None) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(metrics_jsonl_lines(registry, run_info))
+                    + "\n")
+    return path
+
+
+def read_metrics_jsonl(path: Union[str, Path]) -> List[dict]:
+    """Parse a metrics JSONL file (header line included)."""
+    return [json.loads(line)
+            for line in Path(path).read_text().splitlines() if line]
+
+
+# ---------------------------------------------------------------------- #
+# markdown phase summary                                                 #
+# ---------------------------------------------------------------------- #
+def phase_summary_markdown(source: Union[Tracer, Iterable[Span]],
+                           title: str = "Phase summary") -> str:
+    """Wall vs simulated seconds per phase, aggregated over all spans."""
+    from ..util.tables import format_markdown_table
+
+    rows: Dict[str, List[float]] = {}
+    order: List[str] = []
+    for sp in _spans_of(source):
+        if sp.cat != "phase":
+            continue
+        if sp.name not in rows:
+            rows[sp.name] = [0, 0.0, 0.0]
+            order.append(sp.name)
+        agg = rows[sp.name]
+        agg[0] += 1
+        agg[1] += sp.wall_dur
+        agg[2] += sp.sim_dur or 0.0
+    table = [[name, rows[name][0], f"{rows[name][1] * 1e3:.3f}",
+              f"{rows[name][2]:.6f}"] for name in order]
+    wall_total = sum(r[1] for r in rows.values())
+    sim_total = sum(r[2] for r in rows.values())
+    table.append(["Total", sum(r[0] for r in rows.values()),
+                  f"{wall_total * 1e3:.3f}", f"{sim_total:.6f}"])
+    text = format_markdown_table(
+        ["phase", "spans", "wall ms", "simulated s"], table)
+    return f"### {title}\n\n{text}"

@@ -1,0 +1,210 @@
+"""Nested span tracing for the step loop (run > step > phase > backend call
+> traversal level).
+
+The tracer records *wall-clock* intervals (``time.perf_counter``) and, where
+the caller provides them, the corresponding *simulated* seconds from the UPC
+cost model -- the paper's tables are simulated-time grids, but the ROADMAP's
+async/serving work needs real wall-clock phase dependencies, so spans carry
+both.
+
+Design constraints:
+
+* **Zero overhead when disabled.**  The default ambient tracer is
+  :data:`NULL_TRACER`, whose ``begin``/``end`` are no-op methods and whose
+  ``span()`` returns one shared context-manager singleton -- no allocation
+  per call.  Hot loops (``flat_gravity``'s level frontier) additionally gate
+  on ``tracer.enabled`` / ``tracer is None`` so a disabled run executes the
+  exact pre-telemetry instruction stream.
+* **Strict nesting.**  Spans form a stack; ``end()`` closes the innermost
+  open span.  The exporter relies on this to emit Chrome trace-event
+  "complete" events that render as a flame graph in Perfetto.
+
+Usage::
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        run_variant("subspace", cfg, 16)      # spans recorded ambiently
+    write_chrome_trace("trace.json", tracer)  # repro.obs.export
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+#: span categories used across the codebase (any string is allowed)
+CAT_RUN = "run"
+CAT_STEP = "step"
+CAT_PHASE = "phase"
+CAT_BACKEND = "backend"
+CAT_TRAVERSAL = "traversal"
+
+
+@dataclass
+class Span:
+    """One closed (or still-open) interval of the execution."""
+
+    name: str
+    cat: str
+    wall_ts: float                      #: perf_counter seconds at begin
+    depth: int                          #: nesting depth at begin (0 = root)
+    args: Dict[str, object] = field(default_factory=dict)
+    wall_dur: float = 0.0               #: seconds; filled by ``end()``
+    sim_ts: Optional[float] = None      #: simulated clock at begin
+    sim_dur: Optional[float] = None     #: simulated seconds, when known
+
+    @property
+    def wall_end(self) -> float:
+        return self.wall_ts + self.wall_dur
+
+
+class _NullSpanContext:
+    """Shared, allocation-free context manager for the disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_CM = _NullSpanContext()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    A single module-level instance (:data:`NULL_TRACER`) is shared by all
+    non-traced runs; ``span()`` hands back one cached context manager, so a
+    disabled tracer performs no per-call allocations at all.
+    """
+
+    enabled = False
+    spans: "tuple" = ()
+
+    def begin(self, name: str, cat: str = "span",
+              sim_ts: Optional[float] = None, **args) -> None:
+        return None
+
+    def end(self, sim_dur: Optional[float] = None, **args) -> None:
+        return None
+
+    def span(self, name: str, cat: str = "span",
+             sim_ts: Optional[float] = None, **args) -> _NullSpanContext:
+        return _NULL_CM
+
+    def instant(self, name: str, cat: str = "span", **args) -> None:
+        return None
+
+
+#: the shared disabled tracer (and the ambient default)
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Records a strictly nested sequence of :class:`Span` intervals.
+
+    ``spans`` holds *closed* spans in completion order (children before
+    parents); exporters sort by start time.  The tracer is deliberately
+    single-threaded -- the whole reproduction executes SPMD programs
+    functionally in one Python thread.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+
+    # -- core API -------------------------------------------------------- #
+    def begin(self, name: str, cat: str = "span",
+              sim_ts: Optional[float] = None, **args) -> Span:
+        sp = Span(name=name, cat=cat, wall_ts=self._clock(),
+                  depth=len(self._stack), args=args, sim_ts=sim_ts)
+        self._stack.append(sp)
+        return sp
+
+    def end(self, sim_dur: Optional[float] = None, **args) -> Span:
+        """Close the innermost open span; late ``args`` merge in."""
+        if not self._stack:
+            raise RuntimeError("Tracer.end() with no open span")
+        sp = self._stack.pop()
+        sp.wall_dur = self._clock() - sp.wall_ts
+        if sim_dur is not None:
+            sp.sim_dur = sim_dur
+        if args:
+            sp.args.update(args)
+        self.spans.append(sp)
+        return sp
+
+    @contextmanager
+    def span(self, name: str, cat: str = "span",
+             sim_ts: Optional[float] = None, **args):
+        """Context-managed ``begin``/``end`` pair."""
+        self.begin(name, cat, sim_ts=sim_ts, **args)
+        try:
+            yield self
+        finally:
+            self.end()
+
+    def instant(self, name: str, cat: str = "span", **args) -> Span:
+        """A zero-duration marker at the current time and depth."""
+        sp = Span(name=name, cat=cat, wall_ts=self._clock(),
+                  depth=len(self._stack), args=args)
+        self.spans.append(sp)
+        return sp
+
+    # -- introspection --------------------------------------------------- #
+    @property
+    def open_depth(self) -> int:
+        return len(self._stack)
+
+    def close_all(self) -> None:
+        """Close any spans left open (e.g. after an exception)."""
+        while self._stack:
+            self.end()
+
+    def by_cat(self, cat: str) -> List[Span]:
+        return [s for s in self.spans if s.cat == cat]
+
+    def by_name(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def ordered(self) -> List[Span]:
+        """Closed spans sorted by start time, parents before children."""
+        return sorted(self.spans, key=lambda s: (s.wall_ts, -s.wall_dur,
+                                                 s.depth))
+
+
+# ---------------------------------------------------------------------- #
+# ambient tracer                                                         #
+# ---------------------------------------------------------------------- #
+_current: "Tracer | NullTracer" = NULL_TRACER
+
+
+def get_tracer() -> "Tracer | NullTracer":
+    """The ambient tracer (the no-op :data:`NULL_TRACER` by default)."""
+    return _current
+
+
+def set_tracer(tracer: "Tracer | NullTracer | None") -> None:
+    """Install ``tracer`` as the ambient tracer (``None`` disables)."""
+    global _current
+    _current = tracer if tracer is not None else NULL_TRACER
+
+
+@contextmanager
+def use_tracer(tracer: "Tracer | NullTracer | None"):
+    """Temporarily install ``tracer`` as the ambient tracer."""
+    global _current
+    prev = _current
+    _current = tracer if tracer is not None else NULL_TRACER
+    try:
+        yield _current
+    finally:
+        _current = prev

@@ -142,6 +142,18 @@ class FlatTree:
     def nleaves(self) -> int:
         return len(self.leaf_ptr) - 1
 
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of all arrays (canonical + traversal-derived)."""
+        total = 0
+        for name in ("center", "size", "mass", "cofm", "nbodies", "cost",
+                     "home", "child", "leaf_ptr", "leaf_bodies",
+                     "cell_ptr", "cell_data", "lb_ptr", "lb_data",
+                     "size_sq", "half", "gmass", "cx", "cy", "cz",
+                     "ctx", "cty", "ctz"):
+            total += getattr(self, name).nbytes
+        return total
+
     def leaf_slice(self, leaf_id: int) -> np.ndarray:
         """Body indices stored in one leaf."""
         return self.leaf_bodies[self.leaf_ptr[leaf_id]:
@@ -281,6 +293,7 @@ def flat_gravity(
     eps: float,
     open_self_cells: bool = False,
     prepared: Optional[Tuple[np.ndarray, ...]] = None,
+    tracer=None,
 ) -> Tuple[np.ndarray, np.ndarray, Dict[str, float]]:
     """Accelerations and interaction counts via level-synchronous traversal.
 
@@ -294,7 +307,16 @@ def flat_gravity(
     * ``cell_opens``  -- (body, cell) pairs expanded to children,
     * ``leaf_interactions`` -- body-body interactions computed,
     * ``levels``      -- frontier iterations (tree depth reached).
+
+    ``tracer`` (a :class:`repro.obs.trace.Tracer`, or ``None``) records one
+    ``traversal``-category span per frontier level, carrying the level
+    index, frontier size, far-cell accepts, and leaf interactions -- the
+    per-level profile the FDPS-style kernel work (arXiv:1907.02289) tunes
+    against.  With ``tracer=None`` (the default) the loop body is exactly
+    the untraced instruction stream.
     """
+    if tracer is not None and not tracer.enabled:
+        tracer = None
     k = len(body_idx)
     counters = {"cell_tests": 0.0, "cell_accepts": 0.0, "cell_opens": 0.0,
                 "leaf_interactions": 0.0, "levels": 0.0}
@@ -320,6 +342,11 @@ def flat_gravity(
     nodes = np.zeros(k, dtype=np.int64)
 
     while rows.size:
+        if tracer is not None:
+            tracer.begin("level", "traversal",
+                         level=int(counters["levels"]),
+                         frontier=int(rows.size))
+            leaf0 = counters["leaf_interactions"]
         counters["levels"] += 1
         counters["cell_tests"] += rows.size
         dx = tree.cx[nodes]
@@ -351,6 +378,8 @@ def flat_gravity(
             accz += np.bincount(sel, weights=dz[far] * inv, minlength=k)
             work += np.bincount(sel, minlength=k)
         if n_far == rows.size:
+            if tracer is not None:
+                tracer.end(accepts=n_far, leaf_interactions=0.0)
             break
         near = ~far
         op_rows = rows[near]
@@ -390,5 +419,9 @@ def flat_gravity(
         ccounts = tree.cell_ptr[op_nodes + 1] - tree.cell_ptr[op_nodes]
         rows = np.repeat(op_rows, ccounts)
         nodes = tree.cell_data[_ranges(tree.cell_ptr[op_nodes], ccounts)]
+        if tracer is not None:
+            tracer.end(accepts=n_far,
+                       leaf_interactions=counters["leaf_interactions"]
+                       - leaf0)
 
     return np.stack([accx, accy, accz], axis=1), work, counters

@@ -31,6 +31,7 @@ from typing import Dict, Hashable, Iterator, Optional
 
 import numpy as np
 
+from ..obs.trace import CAT_PHASE, get_tracer
 from .costmodel import Charge, CostModel
 from .locks import UpcLock
 from .memory import SharedHeap
@@ -41,10 +42,14 @@ from .stats import Counters, PhaseRecord, StatsLog
 class UpcRuntime:
     """One SPMD execution over ``nthreads`` simulated UPC threads."""
 
-    def __init__(self, nthreads: int, machine: Optional[MachineConfig] = None):
+    def __init__(self, nthreads: int, machine: Optional[MachineConfig] = None,
+                 tracer=None):
         if nthreads < 1:
             raise ValueError("need at least one UPC thread")
         self.nthreads = nthreads
+        #: span sink; defaults to the ambient tracer (no-op unless a
+        #: telemetry session is active)
+        self.tracer = tracer if tracer is not None else get_tracer()
         self.machine = machine if machine is not None else MachineConfig()
         self.cost = CostModel(self.machine)
         self.heap = SharedHeap(nthreads)
@@ -80,6 +85,8 @@ class UpcRuntime:
         self.clock[:] = self._phase_start
         self._nic[:] = 0.0
         self._counters = Counters(self.nthreads)
+        self.tracer.begin(name, CAT_PHASE, sim_ts=self._phase_start,
+                          step=self.step)
 
     def end_phase(self) -> float:
         if self._phase is None:
@@ -99,6 +106,7 @@ class UpcRuntime:
         self.clock[:] = self._phase_start + dur
         self._phase = None
         self._counters = None
+        self.tracer.end(sim_dur=dur)
         return dur
 
     @property

@@ -89,8 +89,13 @@ class StatsLog:
     def total_time(self, steps: "slice | None" = None) -> float:
         if steps is None:
             return sum(r.duration for r in self.records)
-        names = {r.name for r in self.records}
-        return sum(self.phase_time(n, steps) for n in names)
+        # single pass: bucket durations per phase name, then apply the
+        # per-phase step slice (same semantics as summing phase_time over
+        # every name, without the O(phases x records) rescans)
+        by_name: Dict[str, List[float]] = {}
+        for r in self.records:
+            by_name.setdefault(r.name, []).append(r.duration)
+        return sum(sum(durs[steps]) for durs in by_name.values())
 
     def counter_total(self, key: str, phase: "str | None" = None) -> float:
         tot = 0.0

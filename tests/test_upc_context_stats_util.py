@@ -116,6 +116,23 @@ class TestStats:
         assert rt4.log.counter_total("k") == 12
         assert rt4.log.counter_total("k", phase="a") == 5
 
+    def test_total_time_sliced_matches_per_phase_sum(self, rt4):
+        # total_time(steps) must equal summing phase_time(name, steps)
+        # over every phase name (the pre-optimization double-scan form)
+        for step in range(4):
+            rt4.step = step
+            for name, amount in (("build", 1.0), ("force", 2.0 + step)):
+                with rt4.phase(name):
+                    rt4.charge(0, amount)
+        log = rt4.log
+        for steps in (None, slice(None), slice(1, None), slice(1, 3),
+                      slice(None, None, 2), slice(4, None)):
+            expected = sum(log.phase_time(n, steps)
+                           for n in {r.name for r in log.records})
+            assert log.total_time(steps) == pytest.approx(expected)
+        assert log.total_time() == pytest.approx(
+            sum(r.duration for r in log.records))
+
 
 class TestTablesUtil:
     def test_format_seconds_ranges(self):
