@@ -1,7 +1,23 @@
 """The flat backend: SoA octree + level-synchronous vectorized traversal.
 
-Each step, :meth:`FlatBackend.begin_step` flattens the freshly built object
-tree into a :class:`~repro.octree.flat.FlatTree` (contiguous numpy arrays);
+Each step, :meth:`FlatBackend.begin_step` obtains a fresh
+:class:`~repro.octree.flat.FlatTree` (contiguous numpy arrays) over the
+current bodies.  Two build paths exist, selected by
+``BHConfig.flat_build``:
+
+* ``"morton"`` (default) -- :func:`~repro.octree.morton_build.build_flat_tree`
+  constructs the CSR arrays directly from sorted octant keys, never
+  touching ``Cell`` objects; the object tree the variant built for its
+  simulated-communication accounting is ignored here.
+* ``"insertion"`` -- flatten the variant's freshly built object tree via
+  :meth:`FlatTree.from_cell` (the original path; structurally identical,
+  kept for A/B checks and for callers that mutate ``Cell`` hooks).
+
+``BHConfig(flat_build_reuse_order=True)`` additionally carries the sorted
+Morton order across steps (the incremental-rebuild scaffold -- bodies
+mostly keep their key prefix between steps, so the stable sort runs over
+nearly sorted input).
+
 :meth:`FlatBackend.accelerations` then runs
 :func:`~repro.octree.flat.flat_gravity`, whose Python-level work scales
 with tree depth instead of visited nodes.  Forces match the object-tree
@@ -18,9 +34,11 @@ from typing import Optional
 
 import numpy as np
 
+from ..nbody.bbox import RootBox
 from ..nbody.bodies import BodySoA
 from ..octree.cell import Cell
 from ..octree.flat import FlatTree, flat_gravity, prepare_bodies
+from ..octree.morton_build import MortonBuildState, build_flat_tree
 from .base import ForceBackend, ForceResult
 
 
@@ -33,15 +51,36 @@ class FlatBackend(ForceBackend):
         super().__init__(cfg, tracer=tracer)
         self.tree: Optional[FlatTree] = None
         self._prepared = None
+        self._morton_state = MortonBuildState() \
+            if getattr(cfg, "flat_build_reuse_order", False) else None
         #: FlatTree memory footprint per step (feeds run metrics)
         self.tree_nbytes_per_step: list = []
+
+    @property
+    def build_path(self) -> str:
+        """Configured tree construction path ("morton" or "insertion")."""
+        return getattr(self.cfg, "flat_build", "morton")
+
+    def _build_tree(self, root: Cell, bodies: BodySoA) -> FlatTree:
+        if self.build_path != "morton":
+            return FlatTree.from_cell(root)
+        # the root cell carries the exact box floats the insertion build
+        # used, so the octant keys reproduce its midpoint comparisons
+        box = RootBox(center=np.asarray(root.center, dtype=np.float64),
+                      rsize=float(root.size))
+        tr = self.tracer
+        return build_flat_tree(bodies.pos, bodies.mass, box,
+                               costs=bodies.cost,
+                               tracer=tr if tr.enabled else None,
+                               state=self._morton_state)
 
     def begin_step(self, root: Optional[Cell], bodies: BodySoA) -> None:
         tr = self.tracer
         traced = tr.enabled
         if traced:
-            tr.begin("flat.begin_step", "backend")
-        self.tree = FlatTree.from_cell(root) if root is not None else None
+            tr.begin("flat.begin_step", "backend", build=self.build_path)
+        self.tree = self._build_tree(root, bodies) if root is not None \
+            else None
         # body-side arrays are shared by every thread group of the step
         self._prepared = prepare_bodies(bodies.pos, bodies.mass)
         nbytes = self.tree.nbytes if self.tree is not None else 0

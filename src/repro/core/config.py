@@ -37,6 +37,14 @@ class BHConfig:
     #: the policy-instrumented recursion the cost model meters; "flat" runs
     #: the vectorized SoA engine; "direct" the O(n^2) reference
     force_backend: str = DEFAULT_BACKEND
+    #: how the flat backend obtains its per-step :class:`FlatTree`:
+    #: "morton" (default) builds CSR arrays directly from sorted octant
+    #: keys (no Cell objects; see :mod:`repro.octree.morton_build`);
+    #: "insertion" flattens the variant's object tree via ``from_cell``
+    flat_build: str = "morton"
+    #: incremental-rebuild scaffold: reuse the previous step's sorted
+    #: Morton order so the next sort runs over nearly sorted keys
+    flat_build_reuse_order: bool = False
 
     # -- section 5.5 framework parameters (paper: n1 = n2 = n3 = 4) -------
     n1: int = 4  #: working body groups processed concurrently
@@ -82,6 +90,11 @@ class BHConfig:
             raise ValueError(
                 f"unknown force backend {self.force_backend!r}; "
                 f"choose from {sorted(BACKENDS)}"
+            )
+        if self.flat_build not in ("morton", "insertion"):
+            raise ValueError(
+                f"unknown flat build path {self.flat_build!r}; "
+                "choose from ['insertion', 'morton']"
             )
 
     @property

@@ -3,8 +3,9 @@
 Unlike everything else under :mod:`repro.experiments` -- which reports
 *simulated* PGAS time from the cost model -- this measures real wall-clock
 seconds of the engines themselves: tree build (insertion + c-of-m, plus
-flattening for the flat backend) and the force phase (accelerations for
-all bodies in one group), per backend, per body count.
+flattening for the flat backend; the Morton-direct CSR construction for
+the ``flat-morton`` rows) and the force phase (accelerations for all
+bodies in one group), per backend, per body count.
 
 Writes ``BENCH_backends.json`` (repo root by default) so successive PRs
 can track the trajectory::
@@ -40,6 +41,7 @@ from ..nbody.distributions import make_distribution
 from ..octree.build import build_tree
 from ..octree.cofm import compute_cofm
 from ..octree.flat import FlatTree, flat_gravity
+from ..octree.morton_build import build_flat_tree
 from ..octree.traverse import gravity_traversal
 
 #: direct summation is O(n^2); skip it above this size to keep runs short
@@ -95,6 +97,12 @@ def bench_backends(sizes: "List[int]" = (1024, 4096, 16384),
         with tr.span("bench.flatten", "backend", n=n):
             flatten_s, ftree = _best(lambda: FlatTree.from_cell(root),
                                      repeats)
+        with tr.span("bench.build.morton", "backend", n=n):
+            morton_build_s, mtree = _best(
+                lambda: build_flat_tree(bodies.pos, bodies.mass, box,
+                                        costs=bodies.cost,
+                                        tracer=tr if tr.enabled else None),
+                repeats)
         with tr.span("bench.force.object", "backend", n=n):
             obj_force_s, (obj_acc, obj_work) = _best(
                 lambda: gravity_traversal(root, idx, bodies.pos,
@@ -105,17 +113,35 @@ def bench_backends(sizes: "List[int]" = (1024, 4096, 16384),
                                      theta, eps,
                                      tracer=tr if tr.enabled else None),
                 repeats)
+        with tr.span("bench.force.flat-morton", "backend", n=n):
+            morton_force_s, (morton_acc, morton_work, _) = _best(
+                lambda: flat_gravity(mtree, idx, bodies.pos, bodies.mass,
+                                     theta, eps), repeats)
+        insertion_build_s = obj_build_s + flatten_s
         rows = [
             {"n": n, "backend": "object-tree", "build_s": obj_build_s,
              "force_s": obj_force_s,
              "interactions": float(obj_work.sum())},
             {"n": n, "backend": "flat",
-             "build_s": obj_build_s + flatten_s, "flatten_s": flatten_s,
+             "build_s": insertion_build_s, "flatten_s": flatten_s,
              "force_s": flat_force_s,
              "interactions": float(flat_work.sum()),
              "speedup_vs_object": obj_force_s / flat_force_s,
              "max_abs_acc_diff_vs_object":
                  float(np.abs(obj_acc - flat_acc).max())},
+            # same engine, tree built Morton-direct (no Cell objects):
+            # build_s here is the whole keys+sort+structure+aggregate
+            # pipeline, comparable against the flat row's insertion
+            # build+flatten total
+            {"n": n, "backend": "flat-morton",
+             "build_s": morton_build_s,
+             "force_s": morton_force_s,
+             "interactions": float(morton_work.sum()),
+             "build_speedup_vs_insertion":
+                 insertion_build_s / morton_build_s,
+             "speedup_vs_object": obj_force_s / morton_force_s,
+             "max_abs_acc_diff_vs_object":
+                 float(np.abs(obj_acc - morton_acc).max())},
         ]
         if n <= DIRECT_MAX_N:
             direct_s, direct = _best(
@@ -152,6 +178,10 @@ def bench_backends(sizes: "List[int]" = (1024, 4096, 16384),
                 if "speedup_vs_object" in r:
                     extra = (f"  {r['speedup_vs_object']:.2f}x vs object, "
                              f"max|da|={r['max_abs_acc_diff_vs_object']:.1e}")
+                if "build_speedup_vs_insertion" in r:
+                    extra += (f", build "
+                              f"{r['build_speedup_vs_insertion']:.1f}x "
+                              f"vs insertion")
                 print(f"n={r['n']:>6} {r['backend']:<12} "
                       f"build {r['build_s']:.4f}s  "
                       f"force {r['force_s']:.4f}s{extra}")

@@ -138,6 +138,16 @@ def main(argv: "List[str] | None" = None) -> int:
                     choices=list(distribution_names()),
                     help="initial conditions for every run "
                          "(default: plummer)")
+    ap.add_argument("--flat-build", default=None,
+                    choices=["morton", "insertion"],
+                    help="tree construction path of the flat backend: "
+                         "'morton' (default) builds FlatTree CSR arrays "
+                         "directly from sorted octant keys, 'insertion' "
+                         "flattens the per-body-inserted object tree")
+    ap.add_argument("--flat-build-reuse-order", action="store_true",
+                    help="carry the sorted Morton order across steps "
+                         "(incremental-rebuild scaffold: the stable sort "
+                         "runs over nearly sorted keys)")
     ap.add_argument("--trace", default=None, metavar="FILE",
                     help="capture wall-clock span traces of every run to "
                          "FILE (Chrome trace-event JSON; open in Perfetto). "
@@ -160,6 +170,10 @@ def main(argv: "List[str] | None" = None) -> int:
         overrides.append(("force_backend", "flat"))
     if args.distribution is not None:
         overrides.append(("distribution", args.distribution))
+    if args.flat_build is not None:
+        overrides.append(("flat_build", args.flat_build))
+    if args.flat_build_reuse_order:
+        overrides.append(("flat_build_reuse_order", True))
     if overrides:
         scale = scale.with_(overrides=tuple(overrides))
     ids = ALL_IDS if args.all else args.ids

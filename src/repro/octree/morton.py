@@ -33,13 +33,40 @@ def morton_key(pos: np.ndarray, box: RootBox, bits: int = 21) -> int:
     return out
 
 
+def _spread_bits3(x: np.ndarray) -> np.ndarray:
+    """Spread the low 21 bits of ``x`` to every third bit (bit k -> 3k).
+
+    The classic magic-number dilation used by 3-D Morton encoders: five
+    shift-or-mask rounds instead of a 21-iteration bit loop.  All masks
+    fit in a non-negative int64 (highest populated bit is 60).
+    """
+    x = x & 0x1FFFFF
+    x = (x | (x << 32)) & 0x001F00000000FFFF
+    x = (x | (x << 16)) & 0x001F0000FF0000FF
+    x = (x | (x << 8)) & 0x100F00F00F00F00F
+    x = (x | (x << 4)) & 0x10C30C30C30C30C3
+    x = (x | (x << 2)) & 0x1249249249249249
+    return x
+
+
 def morton_keys(positions: np.ndarray, box: RootBox,
                 bits: int = 21) -> np.ndarray:
-    """Vectorized Morton keys for many positions."""
+    """Vectorized Morton keys for many positions.
+
+    Bit-for-bit equal to :func:`morton_key` per row.  For the default
+    ``bits <= 21`` the interleave runs as ~15 whole-array ops via
+    magic-number bit spreading; larger ``bits`` would overflow int64
+    (3 * 22 = 66 bits) and fall back to the per-bit loop, matching the
+    scalar function's arbitrary-precision behaviour only up to 63 bits.
+    """
     half = box.rsize / 2.0
     scale = (1 << bits) / box.rsize
     q = ((positions - (np.asarray(box.center) - half)) * scale).astype(np.int64)
     q = np.clip(q, 0, (1 << bits) - 1)
+    if bits <= 21:
+        return (_spread_bits3(q[:, 0])
+                | (_spread_bits3(q[:, 1]) << 1)
+                | (_spread_bits3(q[:, 2]) << 2))
     out = np.zeros(len(positions), dtype=np.int64)
     for b in range(bits):
         for d in range(3):
