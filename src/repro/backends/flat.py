@@ -2,21 +2,34 @@
 
 Each step, :meth:`FlatBackend.begin_step` obtains a fresh
 :class:`~repro.octree.flat.FlatTree` (contiguous numpy arrays) over the
-current bodies.  Two build paths exist, selected by
+current bodies.  Three build paths exist, selected by
 ``BHConfig.flat_build``:
 
 * ``"morton"`` (default) -- :func:`~repro.octree.morton_build.build_flat_tree`
   constructs the CSR arrays directly from sorted octant keys, never
   touching ``Cell`` objects; the object tree the variant built for its
   simulated-communication accounting is ignored here.
+* ``"incremental"`` --
+  :func:`~repro.octree.morton_build.build_flat_tree_incremental` splices
+  subtrees whose octant runs did not change since the previous step and
+  rebuilds only dirty runs.  Requires a root box whose floats are
+  *stable across steps*, so the backend keeps its own sticky
+  :class:`RootBox` (re-derived only when a body leaves it) instead of
+  following the variant's per-step box recentering -- the tree is
+  byte-identical to a fresh Morton build over that same sticky box.
 * ``"insertion"`` -- flatten the variant's freshly built object tree via
   :meth:`FlatTree.from_cell` (the original path; structurally identical,
   kept for A/B checks and for callers that mutate ``Cell`` hooks).
 
-``BHConfig(flat_build_reuse_order=True)`` additionally carries the sorted
-Morton order across steps (the incremental-rebuild scaffold -- bodies
-mostly keep their key prefix between steps, so the stable sort runs over
-nearly sorted input).
+The Morton paths need no object tree at all: when ``begin_step`` is
+handed ``root=None`` they derive the root box from the body positions.
+The insertion path cannot, and raises instead of silently serving a
+``None`` tree (zero forces) as it used to.
+
+Carried-over :class:`~repro.octree.morton_build.MortonBuildState` is only
+meaningful for one body set advancing in time, so the backend resets it
+whenever it is pointed at a different ``BodySoA`` object (new run,
+restarted simulation, redistribution) -- see ``MortonBuildState.reset``.
 
 :meth:`FlatBackend.accelerations` then runs
 :func:`~repro.octree.flat.flat_gravity`, whose Python-level work scales
@@ -30,16 +43,26 @@ leaf interactions, levels) are surfaced through the returned
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Optional
 
 import numpy as np
 
-from ..nbody.bbox import RootBox
+from ..nbody.bbox import RootBox, compute_root
 from ..nbody.bodies import BodySoA
 from ..octree.cell import Cell
 from ..octree.flat import FlatTree, flat_gravity, prepare_bodies
-from ..octree.morton_build import MortonBuildState, build_flat_tree
+from ..octree.morton_build import (
+    KEY_LEVELS,
+    MortonBuildState,
+    build_flat_tree,
+    build_flat_tree_incremental,
+)
 from .base import ForceBackend, ForceResult
+
+#: per-step tree-size samples kept for run metrics (bounds memory on
+#: long-running simulations; run metrics see at most this many steps)
+TREE_NBYTES_HISTORY = 4096
 
 
 class FlatBackend(ForceBackend):
@@ -51,27 +74,81 @@ class FlatBackend(ForceBackend):
         super().__init__(cfg, tracer=tracer)
         self.tree: Optional[FlatTree] = None
         self._prepared = None
+        incremental = getattr(cfg, "flat_build", "morton") == "incremental"
         self._morton_state = MortonBuildState() \
-            if getattr(cfg, "flat_build_reuse_order", False) else None
-        #: FlatTree memory footprint per step (feeds run metrics)
-        self.tree_nbytes_per_step: list = []
+            if incremental or getattr(cfg, "flat_build_reuse_order", False) \
+            else None
+        if incremental:
+            self._morton_state.keep_structure = True
+        #: sticky root box for the incremental path (None until first step)
+        self._box: Optional[RootBox] = None
+        #: body set the carried state belongs to (identity, not contents)
+        self._state_bodies: Optional[BodySoA] = None
+        #: FlatTree memory footprint per step (feeds run metrics; bounded)
+        self.tree_nbytes_per_step: "deque[int]" = deque(
+            maxlen=TREE_NBYTES_HISTORY)
 
     @property
     def build_path(self) -> str:
-        """Configured tree construction path ("morton" or "insertion")."""
+        """Configured tree construction path (see module docstring)."""
         return getattr(self.cfg, "flat_build", "morton")
 
-    def _build_tree(self, root: Cell, bodies: BodySoA) -> FlatTree:
-        if self.build_path != "morton":
+    @property
+    def last_reuse(self) -> Optional[dict]:
+        """Reuse telemetry of the last incremental build (None otherwise)."""
+        state = self._morton_state
+        return state.last_reuse if state is not None else None
+
+    def _resolve_box(self, root: Optional[Cell],
+                     bodies: BodySoA) -> RootBox:
+        """Root box for a Morton-path build.
+
+        With a root cell, reuse its exact floats so the octant keys
+        replay the insertion build's midpoint comparisons.  Without one
+        (no object tree was built), derive the box from the positions.
+        """
+        if root is not None:
+            return RootBox(center=np.asarray(root.center, dtype=np.float64),
+                           rsize=float(root.size))
+        return compute_root(bodies.pos,
+                            getattr(self.cfg, "initial_rsize", 4.0))
+
+    def _sticky_box(self, root: Optional[Cell], bodies: BodySoA) -> RootBox:
+        """Cross-step-stable root box for the incremental path.
+
+        Consecutive steps' octant keys are only comparable over
+        bit-identical box floats, so the box is kept until a body
+        leaves it; the incremental builder detects the change and falls
+        back to one fresh (snapshot-reseeding) build.
+        """
+        if self._box is None:
+            self._box = self._resolve_box(root, bodies)
+        elif not self._box.contains(bodies.pos).all():
+            self._box = compute_root(bodies.pos,
+                                     getattr(self.cfg, "initial_rsize", 4.0))
+        return self._box
+
+    def _build_tree(self, root: Optional[Cell],
+                    bodies: BodySoA) -> FlatTree:
+        path = self.build_path
+        if path == "insertion":
+            if root is None:
+                raise ValueError(
+                    "flat_build='insertion' flattens the object tree, but "
+                    "begin_step received root=None; build the object tree "
+                    "first or use flat_build='morton'/'incremental'")
             return FlatTree.from_cell(root)
-        # the root cell carries the exact box floats the insertion build
-        # used, so the octant keys reproduce its midpoint comparisons
-        box = RootBox(center=np.asarray(root.center, dtype=np.float64),
-                      rsize=float(root.size))
         tr = self.tracer
+        tr = tr if tr.enabled else None
+        if path == "incremental":
+            box = self._sticky_box(root, bodies)
+            depth = getattr(self.cfg, "flat_reuse_depth", KEY_LEVELS)
+            return build_flat_tree_incremental(
+                bodies.pos, bodies.mass, box, costs=bodies.cost,
+                tracer=tr, state=self._morton_state, reuse_depth=depth)
+        box = self._resolve_box(root, bodies)
         return build_flat_tree(bodies.pos, bodies.mass, box,
-                               costs=bodies.cost,
-                               tracer=tr if tr.enabled else None,
+                               costs=bodies.cost, tracer=tr,
                                state=self._morton_state)
 
     def begin_step(self, root: Optional[Cell], bodies: BodySoA) -> None:
@@ -79,18 +156,27 @@ class FlatBackend(ForceBackend):
         traced = tr.enabled
         if traced:
             tr.begin("flat.begin_step", "backend", build=self.build_path)
-        self.tree = self._build_tree(root, bodies) if root is not None \
-            else None
+        if bodies is not self._state_bodies:
+            # a different body set: the carried sorted order / structure
+            # snapshot belongs to someone else -- drop it (S1 fix)
+            if self._morton_state is not None:
+                self._morton_state.reset()
+            self._box = None
+            self._state_bodies = bodies
+        self.tree = self._build_tree(root, bodies)
         # body-side arrays are shared by every thread group of the step
         self._prepared = prepare_bodies(bodies.pos, bodies.mass)
-        nbytes = self.tree.nbytes if self.tree is not None else 0
+        nbytes = self.tree.nbytes
         self.tree_nbytes_per_step.append(nbytes)
         if traced:
-            tr.end(tree_cells=self.tree.ncells if self.tree else 0,
-                   tree_nbytes=nbytes)
+            tr.end(tree_cells=self.tree.ncells, tree_nbytes=nbytes)
 
     def accelerations(self, body_idx: np.ndarray,
                       bodies: BodySoA) -> ForceResult:
+        if self.tree is None:
+            raise RuntimeError(
+                "FlatBackend.accelerations called before begin_step; the "
+                "per-step tree has not been built")
         tr = self.tracer
         traced = tr.enabled
         if traced:

@@ -40,11 +40,19 @@ class BHConfig:
     #: how the flat backend obtains its per-step :class:`FlatTree`:
     #: "morton" (default) builds CSR arrays directly from sorted octant
     #: keys (no Cell objects; see :mod:`repro.octree.morton_build`);
-    #: "insertion" flattens the variant's object tree via ``from_cell``
+    #: "insertion" flattens the variant's object tree via ``from_cell``;
+    #: "incremental" diffs consecutive sorted key arrays and splices
+    #: clean subtrees from the previous step's tree, rebuilding only
+    #: dirty octant runs (byte-identical output to "morton")
     flat_build: str = "morton"
     #: incremental-rebuild scaffold: reuse the previous step's sorted
     #: Morton order so the next sort runs over nearly sorted keys
+    #: (implied by ``flat_build="incremental"``)
     flat_build_reuse_order: bool = False
+    #: maximum octant-run depth the incremental diff descends to while
+    #: classifying clean/dirty subtrees (deeper = finer-grained reuse,
+    #: slightly more classification work); clamped to KEY_LEVELS (21)
+    flat_reuse_depth: int = 21
 
     # -- section 5.5 framework parameters (paper: n1 = n2 = n3 = 4) -------
     n1: int = 4  #: working body groups processed concurrently
@@ -91,11 +99,13 @@ class BHConfig:
                 f"unknown force backend {self.force_backend!r}; "
                 f"choose from {sorted(BACKENDS)}"
             )
-        if self.flat_build not in ("morton", "insertion"):
+        if self.flat_build not in ("morton", "insertion", "incremental"):
             raise ValueError(
                 f"unknown flat build path {self.flat_build!r}; "
-                "choose from ['insertion', 'morton']"
+                "choose from ['incremental', 'insertion', 'morton']"
             )
+        if self.flat_reuse_depth < 1:
+            raise ValueError("flat_reuse_depth must be >= 1")
 
     @property
     def measured_steps(self) -> int:

@@ -41,11 +41,19 @@ from ..nbody.distributions import make_distribution
 from ..octree.build import build_tree
 from ..octree.cofm import compute_cofm
 from ..octree.flat import FlatTree, flat_gravity
-from ..octree.morton_build import build_flat_tree
+from ..octree.morton_build import (
+    MortonBuildState,
+    build_flat_tree,
+    build_flat_tree_incremental,
+)
 from ..octree.traverse import gravity_traversal
 
 #: direct summation is O(n^2); skip it above this size to keep runs short
 DIRECT_MAX_N = 4096
+
+#: leapfrog steps the flat-incremental row averages over (steady state:
+#: the first build seeds the snapshot and is excluded)
+INCREMENTAL_STEPS = 5
 
 
 def _best(fn, repeats: int) -> "tuple[float, object]":
@@ -59,10 +67,70 @@ def _best(fn, repeats: int) -> "tuple[float, object]":
     return best, out
 
 
+def _bench_incremental(n: int, distribution: str, seed: int,
+                       theta: float, eps: float, dt: float,
+                       steps: int = INCREMENTAL_STEPS) -> dict:
+    """Steady-state incremental vs fresh Morton build over one trajectory.
+
+    Unlike the static rows, reuse only exists across *moving* steps, so
+    this integrates ``steps`` leapfrog steps at ``dt`` and times both
+    builders on the same per-step positions (sticky root box, as
+    :class:`~repro.backends.flat.FlatBackend` keeps it).  Every step the
+    incremental tree is checked byte-identical to the fresh one --
+    a mismatch raises, it is never averaged away.
+    """
+    from ..nbody.integrator import advance_indices, startup_half_kick
+
+    bodies = make_distribution(distribution, n, seed=seed)
+    pos, vel, mass = bodies.pos, bodies.vel, bodies.mass
+    idx = np.arange(n)
+    state = MortonBuildState()
+    box = compute_root(pos, 4.0)
+    tree = build_flat_tree_incremental(pos, mass, box, state=state)
+    acc, work, _ = flat_gravity(tree, idx, pos, mass, theta, eps)
+    startup_half_kick(vel, acc, dt)
+    inc_s, fresh_s, reuse = [], [], []
+    force_best = float("inf")
+    max_acc_diff = 0.0
+    for _ in range(steps):
+        advance_indices(pos, vel, acc, idx, dt)
+        if not box.contains(pos).all():
+            box = compute_root(pos, 4.0)
+        t0 = time.perf_counter()
+        tree = build_flat_tree_incremental(pos, mass, box, state=state)
+        inc_s.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fresh = build_flat_tree(pos, mass, box)
+        fresh_s.append(time.perf_counter() - t0)
+        for f in ("child", "leaf_bodies", "cofm", "mass", "center"):
+            if not np.array_equal(getattr(tree, f), getattr(fresh, f)):
+                raise AssertionError(
+                    f"incremental tree diverged from fresh build ({f})")
+        reuse.append(state.last_reuse["reused_row_fraction"])
+        t0 = time.perf_counter()
+        acc, work, _ = flat_gravity(tree, idx, pos, mass, theta, eps)
+        force_best = min(force_best, time.perf_counter() - t0)
+        acc_fresh, _, _ = flat_gravity(fresh, idx, pos, mass, theta, eps)
+        max_acc_diff = max(max_acc_diff,
+                           float(np.abs(acc - acc_fresh).max()))
+    mean_inc, mean_fresh = float(np.mean(inc_s)), float(np.mean(fresh_s))
+    return {
+        "build_s": mean_inc,
+        "fresh_build_s": mean_fresh,
+        "build_speedup_vs_fresh": mean_fresh / mean_inc,
+        "rebuild_reuse_fraction": float(np.mean(reuse)),
+        "force_s": force_best,
+        "interactions": float(work.sum()),
+        "max_abs_acc_diff_vs_fresh": max_acc_diff,
+        "steps": steps,
+        "dt": dt,
+    }
+
+
 def bench_backends(sizes: "List[int]" = (1024, 4096, 16384),
                    repeats: int = 3, seed: int = 123,
                    theta: float = DEFAULT_THETA, eps: float = DEFAULT_EPS,
-                   distribution: str = "plummer",
+                   distribution: str = "plummer", dt: Optional[float] = None,
                    verbose: bool = True, tracer=None) -> dict:
     """Time tree build + force phase per backend; return the report dict.
 
@@ -70,9 +138,12 @@ def bench_backends(sizes: "List[int]" = (1024, 4096, 16384),
     ``backend``-category span per timed section plus the flat engine's
     per-level traversal spans.
     """
+    from ..nbody.constants import DEFAULT_DT
     from ..obs.metrics import get_registry
     from ..obs.trace import NULL_TRACER
 
+    if dt is None:
+        dt = DEFAULT_DT
     tr = tracer if tracer is not None else NULL_TRACER
     registry = get_registry()
     report = {
@@ -143,6 +214,12 @@ def bench_backends(sizes: "List[int]" = (1024, 4096, 16384),
              "max_abs_acc_diff_vs_object":
                  float(np.abs(obj_acc - morton_acc).max())},
         ]
+        # flat-incremental: steady-state dirty-subtree reuse over a short
+        # integrated trajectory (reuse only exists across moving steps)
+        with tr.span("bench.build.incremental", "backend", n=n):
+            inc = _bench_incremental(n, distribution, seed, theta, eps, dt)
+        rows.append({"n": n, "backend": "flat-incremental",
+                     "distribution": distribution, **inc})
         if n <= DIRECT_MAX_N:
             direct_s, direct = _best(
                 lambda: direct_acc(bodies.pos, bodies.mass, eps), repeats)
@@ -182,7 +259,13 @@ def bench_backends(sizes: "List[int]" = (1024, 4096, 16384),
                     extra += (f", build "
                               f"{r['build_speedup_vs_insertion']:.1f}x "
                               f"vs insertion")
-                print(f"n={r['n']:>6} {r['backend']:<12} "
+                if "rebuild_reuse_fraction" in r:
+                    extra += (f"  reuse "
+                              f"{r['rebuild_reuse_fraction']:.0%}, build "
+                              f"{r['build_speedup_vs_fresh']:.2f}x vs "
+                              f"fresh, max|da|="
+                              f"{r['max_abs_acc_diff_vs_fresh']:.1e}")
+                print(f"n={r['n']:>6} {r['backend']:<16} "
                       f"build {r['build_s']:.4f}s  "
                       f"force {r['force_s']:.4f}s{extra}")
     return report
@@ -201,16 +284,21 @@ def compare_to_baseline(current: dict, baseline: dict,
     more than ``tolerance`` above the stored value) or *any* drift in the
     deterministic interaction counts -- those depend only on (seed, theta,
     distribution), so a change means the traversal semantics changed.
-    Rows are matched on ``(n, backend)``; rows present on one side only
-    are ignored (sizes are configurable).
+    Rows are matched on ``(n, backend)`` plus the row's distribution tag
+    when both sides carry one; rows present on one side only are ignored
+    (sizes and distributions are configurable).
     """
     failures: List[str] = []
-    base = {(r["n"], r["backend"]): r
+    base = {(r["n"], r["backend"], r.get("distribution")): r
             for r in baseline.get("results", []) if "force_s" in r}
     for r in current.get("results", []):
         if "force_s" not in r:
             continue
-        b = base.get((r["n"], r["backend"]))
+        # rows carrying a distribution tag (flat-incremental, and any
+        # multi-distribution run) match on it; older baselines without
+        # the tag still match via the None fallback
+        b = base.get((r["n"], r["backend"], r.get("distribution"))) \
+            or base.get((r["n"], r["backend"], None))
         if b is None:
             continue
         tag = f"n={r['n']} {r['backend']}"
@@ -241,7 +329,12 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     ap.add_argument("--seed", type=int, default=123)
     ap.add_argument("--theta", type=float, default=DEFAULT_THETA)
     ap.add_argument("--eps", type=float, default=DEFAULT_EPS)
-    ap.add_argument("--distribution", default="plummer")
+    ap.add_argument("--distribution", nargs="+", default=["plummer"],
+                    help="one or more distributions; each gets its own "
+                         "set of result rows in the same report")
+    ap.add_argument("--dt", type=float, default=None,
+                    help="time-step of the flat-incremental trajectory "
+                         "(default: the paper's dt)")
     ap.add_argument("--out", default=None,
                     help="output JSON path (default: BENCH_backends.json; "
                          "in --check mode the report is only written when "
@@ -268,11 +361,25 @@ def main(argv: "Optional[List[str]]" = None) -> int:
                            run_info={"tool": "repro-bench",
                                      "sizes": list(args.sizes)}
                            ) as (tracer, _):
-        report = bench_backends(
-            sizes=args.sizes, repeats=args.repeats, seed=args.seed,
-            theta=args.theta, eps=args.eps,
-            distribution=args.distribution,
-            tracer=tracer if tracer.enabled else None)
+        report = None
+        for dist in args.distribution:
+            part = bench_backends(
+                sizes=args.sizes, repeats=args.repeats, seed=args.seed,
+                theta=args.theta, eps=args.eps,
+                distribution=dist, dt=args.dt,
+                tracer=tracer if tracer.enabled else None)
+            if report is None:
+                report = part
+            else:
+                for r in part["results"]:
+                    # tag so rows of different distributions never
+                    # collide in --check matching
+                    r.setdefault("distribution", dist)
+                report["results"].extend(part["results"])
+        if len(args.distribution) > 1:
+            for r in report["results"]:
+                r.setdefault("distribution", args.distribution[0])
+            report["config"]["distribution"] = list(args.distribution)
 
     if args.check:
         baseline = json.loads(Path(args.baseline).read_text())

@@ -139,11 +139,18 @@ def main(argv: "List[str] | None" = None) -> int:
                     help="initial conditions for every run "
                          "(default: plummer)")
     ap.add_argument("--flat-build", default=None,
-                    choices=["morton", "insertion"],
+                    choices=["morton", "insertion", "incremental"],
                     help="tree construction path of the flat backend: "
                          "'morton' (default) builds FlatTree CSR arrays "
                          "directly from sorted octant keys, 'insertion' "
-                         "flattens the per-body-inserted object tree")
+                         "flattens the per-body-inserted object tree, "
+                         "'incremental' splices unchanged subtrees from "
+                         "the previous step and rebuilds only dirty "
+                         "octant runs")
+    ap.add_argument("--flat-reuse-depth", type=int, default=None,
+                    metavar="D",
+                    help="maximum octant-run depth the incremental diff "
+                         "classifies clean/dirty subtrees at (default 21)")
     ap.add_argument("--flat-build-reuse-order", action="store_true",
                     help="carry the sorted Morton order across steps "
                          "(incremental-rebuild scaffold: the stable sort "
@@ -174,6 +181,8 @@ def main(argv: "List[str] | None" = None) -> int:
         overrides.append(("flat_build", args.flat_build))
     if args.flat_build_reuse_order:
         overrides.append(("flat_build_reuse_order", True))
+    if args.flat_reuse_depth is not None:
+        overrides.append(("flat_reuse_depth", args.flat_reuse_depth))
     if overrides:
         scale = scale.with_(overrides=tuple(overrides))
     ids = ALL_IDS if args.all else args.ids

@@ -1,0 +1,407 @@
+"""Incremental Morton rebuild: byte-identity, classification, regressions.
+
+The tentpole contract: :func:`build_flat_tree_incremental` must produce
+the *byte-identical* tree that :func:`build_flat_tree` produces over the
+same root box -- spliced subtrees included -- every step, for every
+distribution, so force parity vs the fresh path is exactly zero.  The
+satellite bug regressions (stale carried order, ``root is None``
+handling, unbounded nbytes history) live here too.
+"""
+
+import numpy as np
+import pytest
+
+from repro import BHConfig
+from repro.backends.flat import TREE_NBYTES_HISTORY, FlatBackend
+from repro.nbody.bbox import compute_root
+from repro.nbody.bodies import BodySoA
+from repro.nbody.distributions import distribution_names, make_distribution
+from repro.obs.trace import Tracer
+from repro.octree.flat import check_flat_tree, flat_gravity
+from repro.octree.morton_build import (
+    KEY_LEVELS,
+    MortonBuildState,
+    build_flat_tree,
+    build_flat_tree_incremental,
+)
+
+ALL_FIELDS = ("child", "leaf_ptr", "leaf_bodies", "nbodies", "cell_ptr",
+              "cell_data", "lb_ptr", "lb_data", "center", "size", "mass",
+              "cofm", "cost")
+
+
+def _assert_bitwise_same(got, ref):
+    for f in ALL_FIELDS:
+        assert np.array_equal(getattr(got, f), getattr(ref, f)), f
+
+
+def _drift(pos, rng, scale):
+    """One pseudo-timestep: small random displacement of every body."""
+    return pos + rng.normal(scale=scale, size=pos.shape)
+
+
+def _sticky_box(box, pos):
+    if box is None or not box.contains(pos).all():
+        return compute_root(pos)
+    return box
+
+
+class TestIncrementalParity:
+    @pytest.mark.parametrize("dist", distribution_names())
+    def test_byte_identical_over_drift_steps(self, dist):
+        n = 500
+        bodies = make_distribution(dist, n, seed=7)
+        rng = np.random.default_rng(99)
+        pos = bodies.pos
+        state = MortonBuildState()
+        box = None
+        for step in range(5):
+            box = _sticky_box(box, pos)
+            inc = build_flat_tree_incremental(pos, bodies.mass, box,
+                                              costs=bodies.cost,
+                                              state=state)
+            ref = build_flat_tree(pos, bodies.mass, box,
+                                  costs=bodies.cost)
+            _assert_bitwise_same(inc, ref)
+            check_flat_tree(inc, pos, bodies.mass)
+            assert state.last_reuse["fresh_fallback"] == (step == 0)
+            pos = _drift(pos, rng, 2e-3)
+
+    def test_force_parity_is_exact(self):
+        bodies = make_distribution("plummer", 400, seed=3)
+        rng = np.random.default_rng(1)
+        pos, idx = bodies.pos, np.arange(400)
+        state = MortonBuildState()
+        box = None
+        for _ in range(3):
+            box = _sticky_box(box, pos)
+            inc = build_flat_tree_incremental(pos, bodies.mass, box,
+                                              state=state)
+            ref = build_flat_tree(pos, bodies.mass, box)
+            a_inc, w_inc, c_inc = flat_gravity(inc, idx, pos,
+                                               bodies.mass, 1.0, 0.05)
+            a_ref, w_ref, c_ref = flat_gravity(ref, idx, pos,
+                                               bodies.mass, 1.0, 0.05)
+            # byte-identical trees: not just <= 1e-13, exactly equal
+            assert np.abs(a_inc - a_ref).max() == 0.0
+            assert np.array_equal(w_inc, w_ref)
+            assert c_inc == c_ref
+            pos = _drift(pos, rng, 2e-3)
+
+    def test_static_bodies_nearly_full_reuse(self):
+        bodies = make_distribution("uniform", 600, seed=5)
+        box = compute_root(bodies.pos)
+        state = MortonBuildState()
+        build_flat_tree_incremental(bodies.pos, bodies.mass, box,
+                                    state=state)
+        inc = build_flat_tree_incremental(bodies.pos, bodies.mass, box,
+                                          state=state)
+        ref = build_flat_tree(bodies.pos, bodies.mass, box)
+        _assert_bitwise_same(inc, ref)
+        r = state.last_reuse
+        assert not r["fresh_fallback"]
+        # everything below the root's child runs is spliced
+        assert r["reused_row_fraction"] > 0.95
+        assert r["reused_subtrees"] >= 1
+
+    def test_first_build_and_box_change_fall_back_fresh(self):
+        bodies = make_distribution("disk", 300, seed=2)
+        box = compute_root(bodies.pos)
+        state = MortonBuildState()
+        build_flat_tree_incremental(bodies.pos, bodies.mass, box,
+                                    state=state)
+        assert state.last_reuse["fresh_fallback"]
+        # a different root box invalidates every carried key prefix
+        from repro.nbody.bbox import RootBox
+        box2 = RootBox(center=box.center.copy(), rsize=box.rsize * 2.0)
+        inc = build_flat_tree_incremental(bodies.pos, bodies.mass, box2,
+                                          state=state)
+        assert state.last_reuse["fresh_fallback"]
+        _assert_bitwise_same(inc, build_flat_tree(bodies.pos, bodies.mass,
+                                                  box2))
+        # ...and reseeds the snapshot: the next build reuses again
+        build_flat_tree_incremental(bodies.pos, bodies.mass, box2,
+                                    state=state)
+        assert not state.last_reuse["fresh_fallback"]
+
+    def test_requires_state(self):
+        bodies = make_distribution("uniform", 64, seed=1)
+        box = compute_root(bodies.pos)
+        with pytest.raises(ValueError, match="MortonBuildState"):
+            build_flat_tree_incremental(bodies.pos, bodies.mass, box)
+
+    @pytest.mark.parametrize("depth", [1, 3, KEY_LEVELS])
+    def test_reuse_depth_still_byte_identical(self, depth):
+        bodies = make_distribution("collision", 400, seed=11)
+        rng = np.random.default_rng(4)
+        pos = bodies.pos
+        state = MortonBuildState()
+        box = None
+        for _ in range(3):
+            box = _sticky_box(box, pos)
+            inc = build_flat_tree_incremental(pos, bodies.mass, box,
+                                              state=state,
+                                              reuse_depth=depth)
+            _assert_bitwise_same(inc, build_flat_tree(pos, bodies.mass,
+                                                      box))
+            pos = _drift(pos, rng, 2e-3)
+
+    def test_duplicate_positions_bucket_paths(self):
+        # key-identical bodies (buckets) are never classified stable;
+        # the surrounding tree still splices and stays byte-identical
+        rng = np.random.default_rng(8)
+        pos = rng.uniform(-1, 1, size=(200, 3))
+        pos[50:58] = pos[40]          # 9-body coincident cluster
+        mass = np.full(200, 1.0 / 200)
+        box = compute_root(pos)
+        state = MortonBuildState()
+        build_flat_tree_incremental(pos, mass, box, state=state)
+        pos2 = pos.copy()
+        pos2[0] += 1e-3               # dirty one body elsewhere
+        inc = build_flat_tree_incremental(pos2, mass, box, state=state)
+        _assert_bitwise_same(inc, build_flat_tree(pos2, mass, box))
+        assert not state.last_reuse["fresh_fallback"]
+
+
+class TestDirtyRunClassification:
+    def _octant_clusters(self):
+        """Eight tight 8-body clusters, one per root octant."""
+        rng = np.random.default_rng(17)
+        centers = np.array([[sx, sy, sz] for sx in (-1, 1)
+                            for sy in (-1, 1) for sz in (-1, 1)],
+                           dtype=np.float64)
+        pos = np.concatenate([c + rng.normal(scale=0.01, size=(8, 3))
+                              for c in centers])
+        mass = np.full(64, 1.0 / 64)
+        return pos, mass
+
+    def test_untouched_octants_are_reused(self):
+        pos, mass = self._octant_clusters()
+        box = compute_root(pos)
+        state = MortonBuildState()
+        build_flat_tree_incremental(pos, mass, box, state=state)
+        pos2 = pos.copy()
+        pos2[0] += 0.5                # dirty exactly one octant's cluster
+        inc = build_flat_tree_incremental(pos2, mass, box, state=state)
+        _assert_bitwise_same(inc, build_flat_tree(pos2, mass, box))
+        r = state.last_reuse
+        # the seven untouched root octants splice as whole subtrees
+        assert r["reused_subtrees"] >= 7
+        assert r["reused_row_fraction"] > 0.5
+
+    def test_all_bodies_moved_reuses_nothing(self):
+        pos, mass = self._octant_clusters()
+        box = compute_root(pos)
+        state = MortonBuildState()
+        build_flat_tree_incremental(pos, mass, box, state=state)
+        rng = np.random.default_rng(23)
+        pos2 = np.ascontiguousarray(pos[rng.permutation(64)]) * 0.5
+        inc = build_flat_tree_incremental(pos2, mass, box, state=state)
+        _assert_bitwise_same(inc, build_flat_tree(pos2, mass, box))
+        r = state.last_reuse
+        assert not r["fresh_fallback"]
+        assert r["reused_subtrees"] == 0
+        assert r["reused_row_fraction"] == 0.0
+
+    def test_reuse_telemetry_span(self):
+        pos, mass = self._octant_clusters()
+        box = compute_root(pos)
+        state = MortonBuildState()
+        tracer = Tracer()
+        build_flat_tree_incremental(pos, mass, box, state=state,
+                                    tracer=tracer)
+        pos2 = pos.copy()
+        pos2[0] += 0.5
+        build_flat_tree_incremental(pos2, mass, box, state=state,
+                                    tracer=tracer)
+        assert tracer.open_depth == 0
+        reuse = [s for s in tracer.spans if s.name == "build.reuse"]
+        assert len(reuse) == 2
+        assert reuse[0].args["fresh_fallback"] is True
+        assert reuse[1].args["fresh_fallback"] is False
+        assert reuse[1].args["reused_subtrees"] >= 7
+        names = {s.name for s in tracer.spans}
+        assert "build.classify" in names
+
+
+class TestMultiStepSimulation:
+    def test_disk_small_dt_sustains_reuse(self):
+        """Leapfrog steps on the disk scenario keep reuse fraction > 0."""
+        from repro.nbody.integrator import advance_indices, \
+            startup_half_kick
+
+        n, dt = 1200, 0.002
+        bodies = make_distribution("disk", n, seed=123)
+        pos, vel, mass = bodies.pos, bodies.vel, bodies.mass
+        idx = np.arange(n)
+        state = MortonBuildState()
+        box = _sticky_box(None, pos)
+        tree = build_flat_tree_incremental(pos, mass, box, state=state)
+        acc, _, _ = flat_gravity(tree, idx, pos, mass, 1.0, 0.05)
+        startup_half_kick(vel, acc, dt)
+        fractions = []
+        for _ in range(4):
+            advance_indices(pos, vel, acc, idx, dt)
+            box = _sticky_box(box, pos)
+            tree = build_flat_tree_incremental(pos, mass, box,
+                                               state=state)
+            _assert_bitwise_same(tree, build_flat_tree(pos, mass, box))
+            acc, _, _ = flat_gravity(tree, idx, pos, mass, 1.0, 0.05)
+            r = state.last_reuse
+            assert not r["fresh_fallback"]
+            fractions.append(r["reused_row_fraction"])
+        assert all(f > 0.0 for f in fractions)
+        assert np.mean(fractions) > 0.3
+
+
+class TestStaleStateRegression:
+    """Satellite S1: carried order must die with its body set."""
+
+    def _descending_bodies(self, n=32):
+        # sorted key order is the *reverse* of body-id order
+        pos = np.zeros((n, 3))
+        pos[:, 0] = np.linspace(1.0, -1.0, n)
+        return BodySoA.from_arrays(pos, np.zeros((n, 3)),
+                                   np.full(n, 1.0 / n))
+
+    def _coincident_bodies(self, n=32):
+        # all keys tie: the sorted order IS the tie-break order
+        pos = np.full((n, 3), 0.25)
+        return BodySoA.from_arrays(pos, np.zeros((n, 3)),
+                                   np.full(n, 1.0 / n))
+
+    def test_backend_resets_state_on_new_body_set(self):
+        cfg = BHConfig(force_backend="flat", flat_build_reuse_order=True)
+        be = FlatBackend(cfg)
+        a = self._descending_bodies()
+        be.begin_step(None, a)
+        # same n, different bodies: without the reset, _sorted_order
+        # adopted A's carried order and B's key ties broke in reversed
+        # body-id order, diverging from a fresh build
+        b = self._coincident_bodies()
+        be.begin_step(None, b)
+        fresh = build_flat_tree(b.pos, b.mass,
+                                compute_root(b.pos,
+                                             cfg.initial_rsize))
+        assert np.array_equal(be.tree.leaf_bodies, fresh.leaf_bodies)
+        np.testing.assert_array_equal(be.tree.leaf_bodies[-32:],
+                                      np.arange(32))
+
+    def test_reset_prevents_order_reuse(self):
+        a = self._descending_bodies()
+        b = self._coincident_bodies()
+        box_a = compute_root(a.pos)
+        box_b = compute_root(b.pos)
+        state = MortonBuildState()
+        build_flat_tree(a.pos, a.mass, box_a, state=state)
+        stale = build_flat_tree(b.pos, b.mass, box_b, state=state)
+        # demonstrate the hazard the reset guards against: carried
+        # order of the wrong body set flips B's bucket tie order
+        assert not np.array_equal(stale.leaf_bodies, np.arange(32))
+        state.reset()
+        clean = build_flat_tree(b.pos, b.mass, box_b, state=state)
+        np.testing.assert_array_equal(clean.leaf_bodies, np.arange(32))
+
+    def test_reset_clears_structure_snapshot(self):
+        bodies = make_distribution("uniform", 128, seed=9)
+        box = compute_root(bodies.pos)
+        state = MortonBuildState()
+        build_flat_tree_incremental(bodies.pos, bodies.mass, box,
+                                    state=state)
+        assert state.tree is not None
+        gen = state.generation
+        state.reset()
+        assert state.generation == gen + 1
+        assert state.tree is None and state.sorted_keys is None
+        assert state.order is None and state.order_stamp == (-1, -1)
+        # next incremental build over the same box must go fresh
+        build_flat_tree_incremental(bodies.pos, bodies.mass, box,
+                                    state=state)
+        assert state.last_reuse["fresh_fallback"]
+
+
+class TestRootNoneRegression:
+    """Satellite S2: Morton paths need no object tree."""
+
+    @pytest.mark.parametrize("path", ["morton", "incremental"])
+    def test_morton_paths_accept_root_none(self, path):
+        cfg = BHConfig(force_backend="flat", flat_build=path)
+        be = FlatBackend(cfg)
+        bodies = make_distribution("plummer", 200, seed=6)
+        be.begin_step(None, bodies)
+        assert be.tree is not None
+        fresh = build_flat_tree(bodies.pos, bodies.mass,
+                                compute_root(bodies.pos,
+                                             cfg.initial_rsize))
+        assert np.array_equal(be.tree.child, fresh.child)
+        res = be.accelerations(np.arange(200), bodies)
+        assert np.isfinite(res.acc).all()
+
+    def test_insertion_path_rejects_root_none(self):
+        cfg = BHConfig(force_backend="flat", flat_build="insertion")
+        be = FlatBackend(cfg)
+        bodies = make_distribution("plummer", 64, seed=6)
+        with pytest.raises(ValueError, match="insertion"):
+            be.begin_step(None, bodies)
+
+    def test_accelerations_before_begin_step_raises(self):
+        cfg = BHConfig(force_backend="flat")
+        be = FlatBackend(cfg)
+        bodies = make_distribution("plummer", 64, seed=6)
+        with pytest.raises(RuntimeError, match="begin_step"):
+            be.accelerations(np.arange(64), bodies)
+
+
+class TestNbytesHistoryCap:
+    """Satellite S3: bounded per-step tree-size history."""
+
+    def test_history_is_capped(self):
+        cfg = BHConfig(force_backend="flat")
+        be = FlatBackend(cfg)
+        hist = be.tree_nbytes_per_step
+        assert hist.maxlen == TREE_NBYTES_HISTORY
+        hist.extend(range(TREE_NBYTES_HISTORY + 500))
+        assert len(hist) == TREE_NBYTES_HISTORY
+
+    def test_run_metrics_output_unchanged(self):
+        from repro.core.app import run_variant
+
+        cfg = BHConfig(nbodies=128, nsteps=3, warmup_steps=1,
+                       force_backend="flat")
+        res = run_variant("baseline", cfg, 4)
+        nbytes = res.variant_stats["flat_tree_nbytes"]
+        assert isinstance(nbytes, list)
+        assert len(nbytes) == 3
+        assert all(b > 0 for b in nbytes)
+
+
+class TestConfigWiring:
+    def test_incremental_is_a_valid_flat_build(self):
+        cfg = BHConfig(flat_build="incremental")
+        assert cfg.flat_build == "incremental"
+        with pytest.raises(ValueError, match="unknown flat build path"):
+            BHConfig(flat_build="differential")
+        with pytest.raises(ValueError, match="flat_reuse_depth"):
+            BHConfig(flat_reuse_depth=0)
+
+    def test_backend_wires_incremental_state(self):
+        cfg = BHConfig(force_backend="flat", flat_build="incremental")
+        be = FlatBackend(cfg)
+        assert be.build_path == "incremental"
+        assert be._morton_state is not None
+        assert be._morton_state.keep_structure
+        assert be.last_reuse is None
+        bodies = make_distribution("disk", 300, seed=14)
+        be.begin_step(None, bodies)
+        assert be.last_reuse["fresh_fallback"]
+        be.begin_step(None, bodies)
+        assert not be.last_reuse["fresh_fallback"]
+        assert be.last_reuse["reused_row_fraction"] > 0.5
+
+    def test_simulation_runs_incremental_end_to_end(self):
+        from repro.core.app import run_variant
+
+        cfg = BHConfig(nbodies=256, nsteps=4, warmup_steps=1,
+                       force_backend="flat", flat_build="incremental")
+        res = run_variant("subspace", cfg, 4)
+        assert np.isfinite(res.bodies.pos).all()
