@@ -8,6 +8,7 @@ Layers (see DESIGN.md):
 * :mod:`repro.octree` -- tree substrate (build, c-of-m, traversal, costzones)
 * :mod:`repro.core`   -- the paper's optimization ladder (L0 baseline .. L6 subspace)
 * :mod:`repro.obs`    -- telemetry (span tracing, metrics registry, exporters)
+* :mod:`repro.resilience` -- checkpoint/restore, health guards, fault injection
 * :mod:`repro.experiments` -- runners for every table and figure in the paper
 
 Quickstart::
@@ -29,6 +30,12 @@ from .core import (
     run_variant,
 )
 from .obs import MetricsRegistry, Tracer, telemetry_session, use_tracer
+from .resilience import (
+    SimulationFault,
+    SimulationKilled,
+    load_checkpoint,
+    restore_simulation,
+)
 from .upc import MachineConfig, UpcRuntime
 
 __version__ = "1.0.0"
@@ -43,12 +50,16 @@ __all__ = [
     "OPT_LADDER",
     "PhaseTimes",
     "RunResult",
+    "SimulationFault",
+    "SimulationKilled",
     "Tracer",
     "UpcRuntime",
     "VARIANTS",
     "get_backend",
     "get_variant",
+    "load_checkpoint",
     "make_backend",
+    "restore_simulation",
     "run_variant",
     "telemetry_session",
     "use_tracer",

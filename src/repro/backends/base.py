@@ -56,6 +56,10 @@ class ForceBackend:
     name: ClassVar[str] = "?"
     #: False for engines that ignore the octree entirely (direct summation)
     needs_tree: ClassVar[bool] = True
+    #: next rung of the degradation ladder (registry name of the engine
+    #: that serves a step when this one faults; None = last resort).  See
+    #: :class:`repro.resilience.degrade.ResilientBackend`.
+    fallback_name: ClassVar[Optional[str]] = None
 
     def __init__(self, cfg: Any, tracer=None):
         self.cfg = cfg

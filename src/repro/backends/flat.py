@@ -69,6 +69,9 @@ class FlatBackend(ForceBackend):
     """Array-native tree engine (the fast path for real wall-clock work)."""
 
     name = "flat"
+    #: degradation rung: the linked-cell recursion computes the same
+    #: physics from the object tree the variant builds anyway
+    fallback_name = "object-tree"
 
     def __init__(self, cfg, tracer=None):
         super().__init__(cfg, tracer=tracer)
@@ -87,6 +90,8 @@ class FlatBackend(ForceBackend):
         #: FlatTree memory footprint per step (feeds run metrics; bounded)
         self.tree_nbytes_per_step: "deque[int]" = deque(
             maxlen=TREE_NBYTES_HISTORY)
+        #: incremental builds rescued by a state-reset fresh rebuild
+        self.build_fallbacks = 0
 
     @property
     def build_path(self) -> str:
@@ -143,13 +148,44 @@ class FlatBackend(ForceBackend):
         if path == "incremental":
             box = self._sticky_box(root, bodies)
             depth = getattr(self.cfg, "flat_reuse_depth", KEY_LEVELS)
-            return build_flat_tree_incremental(
-                bodies.pos, bodies.mass, box, costs=bodies.cost,
-                tracer=tr, state=self._morton_state, reuse_depth=depth)
+            try:
+                return build_flat_tree_incremental(
+                    bodies.pos, bodies.mass, box, costs=bodies.cost,
+                    tracer=tr, state=self._morton_state, reuse_depth=depth)
+            except Exception:
+                # damaged splice state (first rung of the fallback
+                # ladder): drop the snapshot and rebuild fresh -- the
+                # fresh build re-seeds it, so the next step splices again
+                self._morton_state.reset()
+                self.build_fallbacks += 1
+                if tr is not None:
+                    tr.instant("build_fallback", "resilience",
+                               build="incremental->fresh")
+                return build_flat_tree_incremental(
+                    bodies.pos, bodies.mass, box, costs=bodies.cost,
+                    tracer=tr, state=self._morton_state,
+                    reuse_depth=depth)
         box = self._resolve_box(root, bodies)
         return build_flat_tree(bodies.pos, bodies.mass, box,
                                costs=bodies.cost, tracer=tr,
                                state=self._morton_state)
+
+    def adopt_state(self, bodies: BodySoA,
+                    box: Optional[RootBox] = None) -> None:
+        """Pin the carried-state identity to ``bodies`` (checkpoint
+        restore).
+
+        The restored run's first build is necessarily fresh (splice
+        snapshots are not serialized), but it must run over the
+        checkpointed *sticky box* floats -- not a re-derived box -- so
+        its octant keys, and therefore the whole tree, replay the
+        uninterrupted run bit-for-bit and the following steps re-enter
+        incremental reuse.
+        """
+        if self._morton_state is not None:
+            self._morton_state.reset()
+        self._state_bodies = bodies
+        self._box = box
 
     def begin_step(self, root: Optional[Cell], bodies: BodySoA) -> None:
         tr = self.tracer

@@ -25,6 +25,8 @@ class ObjectTreeBackend(ForceBackend):
     """Per-group recursion over the linked ``Cell``/``Leaf`` tree."""
 
     name = "object-tree"
+    #: degradation rung: exact but O(n^2) -- survival over speed
+    fallback_name = "direct"
 
     def __init__(self, cfg, tracer=None):
         super().__init__(cfg, tracer=tracer)

@@ -67,7 +67,8 @@ class BarnesHutSimulation:
                  machine: Optional[MachineConfig] = None,
                  variant: Union[str, Type[VariantBase]] = "subspace",
                  bodies: Optional[BodySoA] = None,
-                 tracer=None):
+                 tracer=None, start_step: int = 0,
+                 kill_at_step: Optional[int] = None):
         self.cfg = cfg
         self.machine = machine if machine is not None else MachineConfig()
         self.tracer = tracer if tracer is not None else get_tracer()
@@ -75,6 +76,22 @@ class BarnesHutSimulation:
         self.bodies = bodies.copy() if bodies is not None else make_bodies(cfg)
         vcls = get_variant(variant) if isinstance(variant, str) else variant
         self.variant = vcls(self.rt, self.bodies, cfg)
+        #: first step to execute (checkpoint restore resumes mid-run)
+        self.start_step = int(start_step)
+        #: resilience mediation (None with the default config: the step
+        #: loop then takes its original unmediated path)
+        self.resilience = None
+        if kill_at_step is not None or cfg.resilience_enabled:
+            from ..resilience.degrade import ResilientBackend
+            from ..resilience.policy import ResilienceManager
+
+            self.resilience = ResilienceManager(cfg, tracer=self.tracer,
+                                                kill_at_step=kill_at_step)
+            self.variant.resilience = self.resilience
+            if self.variant.backend_force_active():
+                self.variant.force_backend = ResilientBackend(
+                    self.variant.force_backend, cfg, tracer=self.tracer,
+                    manager=self.resilience)
 
     def run(self) -> RunResult:
         """Run all steps; phase times cover only the measured steps."""
@@ -84,9 +101,11 @@ class BarnesHutSimulation:
         with tr.span("run", "run", variant=self.variant.name,
                      nthreads=self.rt.nthreads, nbodies=cfg.nbodies,
                      backend=cfg.force_backend):
-            for step in range(cfg.nsteps):
+            for step in range(self.start_step, cfg.nsteps):
                 with tr.span("step", "step", step=step):
                     self.variant.step(step)
+                if self.resilience is not None:
+                    self.resilience.after_step(self, step)
         measured = list(range(cfg.warmup_steps, cfg.nsteps))
         pt = PhaseTimes.from_log(self.rt.log, measured)
         stats = {
@@ -103,6 +122,15 @@ class BarnesHutSimulation:
                          "tree_nbytes_per_step", None)
         if nbytes:
             stats["flat_tree_nbytes"] = list(nbytes)
+        if self.resilience is not None:
+            stats["resilience"] = self.resilience.summary()
+        backend = self.variant.force_backend
+        primary = getattr(backend, "primary", backend)
+        build_fallbacks = getattr(primary, "build_fallbacks", 0)
+        if build_fallbacks:
+            stats.setdefault("resilience", {}) \
+                .setdefault("build_fallbacks", {})[""] = \
+                float(build_fallbacks)
         telemetry = self._collect_telemetry(stats, span0)
         return RunResult(
             config=cfg,

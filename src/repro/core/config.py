@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional, Tuple
 
 from ..backends.registry import BACKENDS, DEFAULT_BACKEND
 from ..nbody.constants import (
@@ -70,6 +71,27 @@ class BHConfig:
     open_self_cells: bool = False  #: stricter-than-SPLASH-2 opening rule
     initial_rsize: float = 4.0
 
+    # -- resilience (see repro.resilience / docs/resilience.md) ------------
+    #: write a checkpoint every N completed steps (0 = off)
+    checkpoint_every: int = 0
+    #: directory for ``ckpt_step*.npz`` files (required when checkpointing)
+    checkpoint_dir: Optional[str] = None
+    #: run the numerical-health guards after every phase (off by default:
+    #: they are O(n) vectorized scans, kept off the hot path)
+    guards: bool = False
+    #: kinetic-energy drift window (steps) and trip factor
+    guard_energy_window: int = 16
+    guard_energy_factor: float = 16.0
+    #: escape trip distance, in multiples of the initial root-box rsize
+    guard_escape_factor: float = 64.0
+    #: bounded replays of a value-idempotent phase per fault
+    max_phase_retries: int = 2
+    #: degraded steps served before the backend ladder pins the fallback
+    max_backend_fallbacks: int = 3
+    #: deterministic fault-injection specs, ``PHASE[:STEP[:KIND]]`` each
+    #: (see :func:`repro.resilience.inject.parse_spec`)
+    inject: Tuple[str, ...] = ()
+
     def __post_init__(self) -> None:
         if self.nbodies < 1:
             raise ValueError("nbodies must be positive")
@@ -77,6 +99,10 @@ class BHConfig:
             raise ValueError("theta must be positive")
         if self.eps < 0:
             raise ValueError("eps must be non-negative")
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+        if self.initial_rsize <= 0:
+            raise ValueError("initial_rsize must be positive")
         if self.nsteps < 1:
             raise ValueError("nsteps must be positive")
         if not (0 <= self.warmup_steps < self.nsteps):
@@ -106,6 +132,34 @@ class BHConfig:
             )
         if self.flat_reuse_depth < 1:
             raise ValueError("flat_reuse_depth must be >= 1")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if self.checkpoint_every > 0 and not self.checkpoint_dir:
+            raise ValueError(
+                "checkpoint_every > 0 requires checkpoint_dir")
+        if self.guard_energy_window < 2:
+            raise ValueError("guard_energy_window must be >= 2")
+        if self.guard_energy_factor <= 1.0:
+            raise ValueError("guard_energy_factor must be > 1")
+        if self.guard_escape_factor <= 1.0:
+            raise ValueError("guard_escape_factor must be > 1")
+        if self.max_phase_retries < 0:
+            raise ValueError("max_phase_retries must be >= 0")
+        if self.max_backend_fallbacks < 1:
+            raise ValueError("max_backend_fallbacks must be >= 1")
+        if self.inject:
+            # registry-style validation, same pattern as distributions:
+            # reject malformed specs at construction, not mid-run (lazy
+            # import keeps config importable without the subsystem)
+            from ..resilience.inject import parse_spec
+
+            for text in self.inject:
+                parse_spec(text)
+
+    @property
+    def resilience_enabled(self) -> bool:
+        """Whether any resilience feature asks for step-loop mediation."""
+        return bool(self.guards or self.inject or self.checkpoint_every > 0)
 
     @property
     def measured_steps(self) -> int:

@@ -21,6 +21,14 @@ ADVANCE = "advance"
 #: canonical phase order (the paper's table row order)
 ALL_PHASES = [TREEBUILD, COFM, PARTITION, REDISTRIBUTION, FORCE, ADVANCE]
 
+#: phases whose bodies recompute their outputs purely from inputs that
+#: survive the phase itself (tree rebuilt from box+positions, aggregates
+#: and assignments fully overwritten, accelerations/costs recomputed for
+#: every body), so the resilience layer may safely re-execute them after
+#: an output fault.  ``advance`` and ``redistribution`` mutate their own
+#: inputs in place and are never replayed.
+IDEMPOTENT_PHASES = (TREEBUILD, COFM, PARTITION, FORCE)
+
 #: human-readable labels, as printed in the paper's tables
 PHASE_LABELS = {
     TREEBUILD: "Tree-building",

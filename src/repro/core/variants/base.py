@@ -103,6 +103,10 @@ class VariantBase:
         #: path below, any other backend takes over the force phase
         self.force_backend = make_backend(cfg.force_backend, cfg,
                                           tracer=rt.tracer)
+        #: resilience mediation (a ResilienceManager, attached by
+        #: BarnesHutSimulation when the config enables any of it; None
+        #: keeps the unmediated phase loop below)
+        self.resilience = None
 
     # ------------------------------------------------------------------ #
     # plumbing                                                           #
@@ -124,9 +128,13 @@ class VariantBase:
         """Execute one full time-step."""
         self.step_index = step_index
         self.rt.step = step_index
+        manager = self.resilience
         for phase_name, method in self.phase_plan():
-            with self.rt.phase(phase_name):
-                method()
+            if manager is not None:
+                manager.run_phase(self, phase_name, method, step_index)
+            else:
+                with self.rt.phase(phase_name):
+                    method()
 
     def lock_of(self, cell: Cell) -> UpcLock:
         lk = self._locks.get(id(cell))

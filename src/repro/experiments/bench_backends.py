@@ -285,14 +285,32 @@ def compare_to_baseline(current: dict, baseline: dict,
     deterministic interaction counts -- those depend only on (seed, theta,
     distribution), so a change means the traversal semantics changed.
     Rows are matched on ``(n, backend)`` plus the row's distribution tag
-    when both sides carry one; rows present on one side only are ignored
-    (sizes and distributions are configurable).
+    when both sides carry one; a current row with no baseline match (a
+    newly added backend, size, or distribution the stored trajectory
+    predates) is skipped with a :class:`UserWarning` rather than failed
+    -- and never crashes the check.  Malformed rows missing the ``n`` /
+    ``backend`` match keys are likewise warned about and skipped.
     """
+    import warnings
+
     failures: List[str] = []
-    base = {(r["n"], r["backend"], r.get("distribution")): r
-            for r in baseline.get("results", []) if "force_s" in r}
+    base = {}
+    for r in baseline.get("results", []):
+        if "force_s" not in r:
+            continue
+        if "n" not in r or "backend" not in r:
+            warnings.warn(
+                f"baseline row missing match keys (n/backend), "
+                f"skipping: {sorted(r)}", stacklevel=2)
+            continue
+        base[(r["n"], r["backend"], r.get("distribution"))] = r
     for r in current.get("results", []):
         if "force_s" not in r:
+            continue
+        if "n" not in r or "backend" not in r:
+            warnings.warn(
+                f"current row missing match keys (n/backend), "
+                f"skipping: {sorted(r)}", stacklevel=2)
             continue
         # rows carrying a distribution tag (flat-incremental, and any
         # multi-distribution run) match on it; older baselines without
@@ -300,6 +318,12 @@ def compare_to_baseline(current: dict, baseline: dict,
         b = base.get((r["n"], r["backend"], r.get("distribution"))) \
             or base.get((r["n"], r["backend"], None))
         if b is None:
+            warnings.warn(
+                f"baseline has no row for n={r['n']} "
+                f"backend={r['backend']!r} "
+                f"distribution={r.get('distribution')!r}; skipping "
+                f"(re-run without --check to refresh the baseline)",
+                stacklevel=2)
             continue
         tag = f"n={r['n']} {r['backend']}"
         for clock in ("build_s", "force_s"):

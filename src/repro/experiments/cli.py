@@ -155,6 +155,25 @@ def main(argv: "List[str] | None" = None) -> int:
                     help="carry the sorted Morton order across steps "
                          "(incremental-rebuild scaffold: the stable sort "
                          "runs over nearly sorted keys)")
+    ap.add_argument("--guards", action="store_true",
+                    help="run the numerical-health guards after every "
+                         "phase of every run (NaN/Inf scans, energy-"
+                         "drift and escape checks; see docs/resilience.md)")
+    ap.add_argument("--inject", action="append", default=[],
+                    metavar="SPEC",
+                    help="arm a deterministic fault at a phase boundary "
+                         "(PHASE[:STEP[:KIND]], repeatable; kinds: "
+                         "raise, corrupt, delay, backend)")
+    ap.add_argument("--checkpoint-every", type=int, default=None,
+                    metavar="N",
+                    help="write a resilience checkpoint every N steps "
+                         "of every run (requires --checkpoint-dir)")
+    ap.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                    help="directory for ckpt_step*.npz files")
+    ap.add_argument("--max-phase-retries", type=int, default=None,
+                    metavar="K",
+                    help="bounded replays of an idempotent phase per "
+                         "fault (default 2)")
     ap.add_argument("--trace", default=None, metavar="FILE",
                     help="capture wall-clock span traces of every run to "
                          "FILE (Chrome trace-event JSON; open in Perfetto). "
@@ -183,6 +202,16 @@ def main(argv: "List[str] | None" = None) -> int:
         overrides.append(("flat_build_reuse_order", True))
     if args.flat_reuse_depth is not None:
         overrides.append(("flat_reuse_depth", args.flat_reuse_depth))
+    if args.guards:
+        overrides.append(("guards", True))
+    if args.inject:
+        overrides.append(("inject", tuple(args.inject)))
+    if args.checkpoint_every is not None:
+        overrides.append(("checkpoint_every", args.checkpoint_every))
+    if args.checkpoint_dir is not None:
+        overrides.append(("checkpoint_dir", args.checkpoint_dir))
+    if args.max_phase_retries is not None:
+        overrides.append(("max_phase_retries", args.max_phase_retries))
     if overrides:
         scale = scale.with_(overrides=tuple(overrides))
     ids = ALL_IDS if args.all else args.ids

@@ -223,6 +223,14 @@ def collect_run_metrics(registry: MetricsRegistry, log,
         for nbytes in variant_stats.get("flat_tree_nbytes", ()):
             registry.gauge("flat_tree_nbytes").set(nbytes)
             registry.histogram("flat_tree_nbytes_per_step").observe(nbytes)
+        # resilience mediation counts: {counter name: {label: total}}
+        # (labels vary by counter -- phase for retries, cause for faults,
+        # ladder edge for backend fallbacks -- folded under one "key")
+        for name, by_label in variant_stats.get("resilience", {}).items():
+            for label, val in by_label.items():
+                labels = {"key": label} if label else {}
+                registry.counter(f"resilience_{name}_total",
+                                 **labels).add(val)
     return registry
 
 
@@ -254,6 +262,11 @@ def collect_span_metrics(registry: MetricsRegistry,
         elif sp.cat == "step":
             registry.counter("step_wall_seconds_total").add(sp.wall_dur)
             registry.counter("steps_total").add(1)
+        elif sp.cat == "resilience":
+            # zero-duration mediation markers (retries, fallbacks,
+            # checkpoints) dropped by the resilience layer
+            registry.counter("resilience_events_total",
+                             event=sp.name).add(1)
     return registry
 
 

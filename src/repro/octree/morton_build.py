@@ -171,6 +171,25 @@ class MortonBuildState:
     #: reuse telemetry of the most recent incremental build
     last_reuse: Optional[dict] = None
 
+    def consistent(self) -> bool:
+        """Whether the carried structure snapshot is internally coherent.
+
+        The splice path indexes the previous sorted key/body arrays by
+        positions derived from ``n``; a snapshot whose arrays do not all
+        cover ``n`` sorted positions (state damage, partial hand
+        assignment) would crash or splice garbage, so
+        :func:`_incremental_usable` demands coherence and the builder
+        falls back to one fresh, snapshot-re-seeding build instead.
+        """
+        if (self.sorted_keys is None or self.sorted_bodies is None
+                or self.tree is None or self.level_cell_starts is None
+                or self.level_leaf_starts is None
+                or self.level_cell_base is None
+                or self.level_leaf_base is None):
+            return False
+        return (len(self.sorted_keys) == self.n
+                and len(self.sorted_bodies) == self.n)
+
     def reset(self) -> None:
         """Invalidate all carried state (new run / new body set / resize)."""
         self.generation += 1
@@ -548,14 +567,12 @@ def _incremental_usable(state: MortonBuildState, box: RootBox,
 
     Two steps' key arrays are only comparable when derived from the
     *bit-identical* root box over the same ``n`` bodies; any mismatch
-    (first step, post-reset, resized body set, re-centred box) falls
-    back to a fresh build -- which re-seeds the snapshot.
+    (first step, post-reset, resized body set, re-centred box, damaged
+    snapshot -- see :meth:`MortonBuildState.consistent`) falls back to a
+    fresh build -- which re-seeds the snapshot.
     """
-    return (state.sorted_keys is not None
-            and state.sorted_bodies is not None
-            and state.tree is not None
-            and state.level_cell_starts is not None
-            and state.n == n
+    return (state.n == n
+            and state.consistent()
             and state.box_center is not None
             and state.box_rsize == float(box.rsize)
             and bool(np.array_equal(
