@@ -1,0 +1,33 @@
+"""Extension-module hook for the compiled force kernel.
+
+All project metadata lives in ``pyproject.toml``; this file exists only
+to declare the (optional) C extension setuptools cannot yet express
+there.  ``repro.kernels._bh_kernel`` is an empty shell module whose
+shared object carries the plain-C walk symbols -- the Python side binds
+them with ctypes from the artifact's file path (see
+``src/repro/kernels/loader.py``), so calls release the GIL.
+
+``optional=True`` keeps installs working on boxes with no C toolchain:
+the build failure is logged, the wheel ships without the artifact, and
+the loader falls back to compiling ``_bh_kernel.c`` (shipped as package
+data) on first use -- or, failing that too, the ``flat-c`` backend
+serves the numpy ``flat`` engine after one RuntimeWarning.
+
+``-ffp-contract=off`` mirrors the on-first-use build: FMA contraction
+inside the opening test could flip a far/near decision against the
+numpy traversal and break the bit-exact interaction-count contract.
+"""
+
+from setuptools import Extension, setup
+
+setup(
+    ext_modules=[
+        Extension(
+            "repro.kernels._bh_kernel",
+            sources=["src/repro/kernels/_bh_kernel.c"],
+            define_macros=[("BH_BUILD_PYEXT", "1")],
+            extra_compile_args=["-O3", "-ffp-contract=off"],
+            optional=True,
+        ),
+    ],
+)

@@ -8,6 +8,7 @@ to add a backend.
 """
 
 from .base import ForceBackend, ForceResult
+from .compiled import CompiledFlatBackend, NumbaFlatBackend
 from .direct import DirectBackend
 from .flat import FlatBackend
 from .object_tree import ObjectTreeBackend
@@ -22,10 +23,12 @@ from .registry import (
 __all__ = [
     "BACKENDS",
     "DEFAULT_BACKEND",
+    "CompiledFlatBackend",
     "DirectBackend",
     "FlatBackend",
     "ForceBackend",
     "ForceResult",
+    "NumbaFlatBackend",
     "ObjectTreeBackend",
     "backend_names",
     "get_backend",

@@ -36,8 +36,16 @@ class BHConfig:
     distribution: str = "plummer"
     #: force engine (:data:`repro.backends.BACKENDS`): "object-tree" keeps
     #: the policy-instrumented recursion the cost model meters; "flat" runs
-    #: the vectorized SoA engine; "direct" the O(n^2) reference
+    #: the vectorized SoA engine; "flat-c" / "flat-numba" the compiled
+    #: per-body walks of :mod:`repro.kernels` (served by "flat" when no
+    #: toolchain / numba exists); "direct" the O(n^2) reference
     force_backend: str = DEFAULT_BACKEND
+    #: body-chunking width of the compiled kernels' thread pool
+    #: (``flat-c``: chunks dispatched to a Python thread pool with the
+    #: GIL released; ``flat-numba``: requested numba thread count);
+    #: 0 = one chunk per CPU.  Outputs are per-body independent, so any
+    #: value produces bit-identical results
+    kernel_threads: int = 0
     #: how the flat backend obtains its per-step :class:`FlatTree`:
     #: "morton" (default) builds CSR arrays directly from sorted octant
     #: keys (no Cell objects; see :mod:`repro.octree.morton_build`);
@@ -132,6 +140,8 @@ class BHConfig:
             )
         if self.flat_reuse_depth < 1:
             raise ValueError("flat_reuse_depth must be >= 1")
+        if self.kernel_threads < 0:
+            raise ValueError("kernel_threads must be >= 0 (0 = auto)")
         if self.checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0")
         if self.checkpoint_every > 0 and not self.checkpoint_dir:

@@ -131,12 +131,22 @@ def bench_backends(sizes: "List[int]" = (1024, 4096, 16384),
                    repeats: int = 3, seed: int = 123,
                    theta: float = DEFAULT_THETA, eps: float = DEFAULT_EPS,
                    distribution: str = "plummer", dt: Optional[float] = None,
+                   kernel_threads: int = 4,
                    verbose: bool = True, tracer=None) -> dict:
     """Time tree build + force phase per backend; return the report dict.
 
     ``tracer`` (optional :class:`repro.obs.trace.Tracer`) records one
     ``backend``-category span per timed section plus the flat engine's
     per-level traversal spans.
+
+    When the compiled kernels are usable, ``flat-c`` (and ``flat-numba``
+    under an importable numba) rows time the native walk over the same
+    Morton-built tree, single-threaded (``force_s``) and chunked across
+    ``kernel_threads`` workers (``force_s_threads<T>``), with parity
+    columns vs the numpy flat engine (``speedup_vs_flat``,
+    ``interactions_match_flat``, ``max_abs_acc_diff_vs_flat``).  On a
+    box without them the rows are marked skipped, exactly like the
+    O(n^2) ``direct`` rows above :data:`DIRECT_MAX_N`.
     """
     from ..nbody.constants import DEFAULT_DT
     from ..obs.metrics import get_registry
@@ -214,6 +224,60 @@ def bench_backends(sizes: "List[int]" = (1024, 4096, 16384),
              "max_abs_acc_diff_vs_object":
                  float(np.abs(obj_acc - morton_acc).max())},
         ]
+        # compiled kernels: native per-body walk over the same
+        # Morton-built tree (parity columns vs the numpy flat engine)
+        from ..kernels import (
+            c_kernel_available,
+            kernel_gravity,
+            numba_available,
+            numba_gravity,
+        )
+
+        if c_kernel_available():
+            with tr.span("bench.force.flat-c", "backend", n=n):
+                c_force_s, (c_acc, c_work, _) = _best(
+                    lambda: kernel_gravity(mtree, idx, bodies.pos,
+                                           bodies.mass, theta, eps,
+                                           threads=1), repeats)
+            cT_force_s, (cT_acc, cT_work, _) = _best(
+                lambda: kernel_gravity(mtree, idx, bodies.pos,
+                                       bodies.mass, theta, eps,
+                                       threads=kernel_threads), repeats)
+            rows.append(
+                {"n": n, "backend": "flat-c", "build_s": morton_build_s,
+                 "force_s": c_force_s,
+                 f"force_s_threads{kernel_threads}": cT_force_s,
+                 "thread_speedup": c_force_s / cT_force_s,
+                 "kernel_threads": kernel_threads,
+                 "interactions": float(c_work.sum()),
+                 "speedup_vs_flat": morton_force_s / c_force_s,
+                 "speedup_vs_object": obj_force_s / c_force_s,
+                 "interactions_match_flat":
+                     bool(np.array_equal(c_work, morton_work)),
+                 "max_abs_acc_diff_vs_flat":
+                     float(np.abs(morton_acc - c_acc).max()),
+                 "threads_bit_identical":
+                     bool(np.array_equal(c_acc, cT_acc)
+                          and np.array_equal(c_work, cT_work))})
+        else:
+            rows.append({"n": n, "backend": "flat-c",
+                         "skipped": "compiled kernel unavailable "
+                                    "(no built extension, no C "
+                                    "toolchain)"})
+        if numba_available():
+            nb_force_s, (nb_acc, nb_work, _) = _best(
+                lambda: numba_gravity(mtree, idx, bodies.pos,
+                                      bodies.mass, theta, eps), repeats)
+            rows.append(
+                {"n": n, "backend": "flat-numba",
+                 "build_s": morton_build_s, "force_s": nb_force_s,
+                 "interactions": float(nb_work.sum()),
+                 "speedup_vs_flat": morton_force_s / nb_force_s,
+                 "speedup_vs_object": obj_force_s / nb_force_s,
+                 "interactions_match_flat":
+                     bool(np.array_equal(nb_work, morton_work)),
+                 "max_abs_acc_diff_vs_flat":
+                     float(np.abs(morton_acc - nb_acc).max())})
         # flat-incremental: steady-state dirty-subtree reuse over a short
         # integrated trajectory (reuse only exists across moving steps)
         with tr.span("bench.build.incremental", "backend", n=n):
@@ -253,8 +317,14 @@ def bench_backends(sizes: "List[int]" = (1024, 4096, 16384),
                     continue
                 extra = ""
                 if "speedup_vs_object" in r:
-                    extra = (f"  {r['speedup_vs_object']:.2f}x vs object, "
-                             f"max|da|={r['max_abs_acc_diff_vs_object']:.1e}")
+                    extra = f"  {r['speedup_vs_object']:.2f}x vs object"
+                if "max_abs_acc_diff_vs_object" in r:
+                    extra += (f", max|da|="
+                              f"{r['max_abs_acc_diff_vs_object']:.1e}")
+                if "speedup_vs_flat" in r:
+                    extra += (f", {r['speedup_vs_flat']:.2f}x vs flat, "
+                              f"max|da|="
+                              f"{r['max_abs_acc_diff_vs_flat']:.1e}")
                 if "build_speedup_vs_insertion" in r:
                     extra += (f", build "
                               f"{r['build_speedup_vs_insertion']:.1f}x "
@@ -359,6 +429,10 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     ap.add_argument("--dt", type=float, default=None,
                     help="time-step of the flat-incremental trajectory "
                          "(default: the paper's dt)")
+    ap.add_argument("--kernel-threads", type=int, default=4, metavar="T",
+                    help="worker count of the flat-c multi-threaded "
+                         "timing row (default 4; the single-threaded "
+                         "force_s is always recorded)")
     ap.add_argument("--out", default=None,
                     help="output JSON path (default: BENCH_backends.json; "
                          "in --check mode the report is only written when "
@@ -391,6 +465,7 @@ def main(argv: "Optional[List[str]]" = None) -> int:
                 sizes=args.sizes, repeats=args.repeats, seed=args.seed,
                 theta=args.theta, eps=args.eps,
                 distribution=dist, dt=args.dt,
+                kernel_threads=args.kernel_threads,
                 tracer=tracer if tracer.enabled else None)
             if report is None:
                 report = part

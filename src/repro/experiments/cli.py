@@ -151,6 +151,12 @@ def main(argv: "List[str] | None" = None) -> int:
                     metavar="D",
                     help="maximum octant-run depth the incremental diff "
                          "classifies clean/dirty subtrees at (default 21)")
+    ap.add_argument("--kernel-threads", type=int, default=None,
+                    metavar="T",
+                    help="body-chunking width of the compiled kernel "
+                         "backends (flat-c thread pool / flat-numba "
+                         "thread count; 0 = one chunk per CPU; results "
+                         "are identical at every value)")
     ap.add_argument("--flat-build-reuse-order", action="store_true",
                     help="carry the sorted Morton order across steps "
                          "(incremental-rebuild scaffold: the stable sort "
@@ -202,6 +208,8 @@ def main(argv: "List[str] | None" = None) -> int:
         overrides.append(("flat_build_reuse_order", True))
     if args.flat_reuse_depth is not None:
         overrides.append(("flat_reuse_depth", args.flat_reuse_depth))
+    if args.kernel_threads is not None:
+        overrides.append(("kernel_threads", args.kernel_threads))
     if args.guards:
         overrides.append(("guards", True))
     if args.inject:

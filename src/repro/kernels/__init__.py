@@ -1,0 +1,205 @@
+"""Compiled force kernels: native tree walks over ``FlatTree`` arrays.
+
+The numpy ``flat`` engine (:func:`repro.octree.flat.flat_gravity`) pays
+Python/numpy dispatch per traversal *level*; these kernels pay nothing
+per level -- one C (or numba) stack walk per body over the exact same
+contiguous CSR arrays, so the whole force phase is native code.  Two
+implementations share the semantics and the bit-exact interaction-count
+contract:
+
+* the C extension ``_bh_kernel.c`` (see :mod:`.loader` for the
+  build-or-load story), bound via ctypes so calls release the GIL and
+  :func:`kernel_gravity` can chunk bodies across a thread pool;
+* an optional ``@njit(parallel=True)`` twin (:mod:`.numba_kernel`),
+  used when numba is importable.
+
+Importing this package never raises on a box with neither a compiler
+nor numba: the loaders memoize ``None`` and emit one
+:class:`RuntimeWarning`; the ``flat-c`` / ``flat-numba`` backends then
+serve the numpy ``flat`` engine unchanged (see
+:mod:`repro.backends.compiled`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .loader import (
+    NCOUNTERS,
+    CKernel,
+    kernel_status,
+    load_kernel,
+    reset_kernel_cache,
+)
+from .numba_kernel import get_numba_walk, numba_available, reset_numba_cache
+
+__all__ = [
+    "NCOUNTERS",
+    "CKernel",
+    "c_kernel_available",
+    "kernel_gravity",
+    "kernel_status",
+    "load_kernel",
+    "numba_available",
+    "numba_gravity",
+    "reset_kernel_cache",
+    "reset_numba_cache",
+]
+
+#: a chunk below this many bodies is not worth a thread hand-off
+MIN_CHUNK = 1024
+
+
+def c_kernel_available() -> bool:
+    return load_kernel() is not None
+
+
+def _zero_result(k: int) -> Tuple[np.ndarray, np.ndarray, Dict[str, float]]:
+    counters = {"cell_tests": 0.0, "cell_accepts": 0.0, "cell_opens": 0.0,
+                "leaf_interactions": 0.0, "levels": 0.0}
+    return np.zeros((k, 3)), np.zeros(k), counters
+
+
+def _counters_dict(tests: float, accepts: float, opens: float,
+                   leaf: float, maxdepth: float) -> Dict[str, float]:
+    # ``levels`` mirrors flat_gravity's frontier-iteration count: the
+    # deepest tested pair's depth + 1 (root = depth 0)
+    return {"cell_tests": tests, "cell_accepts": accepts,
+            "cell_opens": opens, "leaf_interactions": leaf,
+            "levels": maxdepth + 1.0 if maxdepth >= 0 else 0.0}
+
+
+def _chunk_bounds(k: int, threads: int) -> "list[Tuple[int, int]]":
+    nchunks = min(max(1, threads), max(1, -(-k // MIN_CHUNK)))
+    step = -(-k // nchunks)
+    return [(lo, min(lo + step, k)) for lo in range(0, k, step)]
+
+
+def kernel_gravity(
+    tree,
+    body_idx: np.ndarray,
+    positions: np.ndarray,
+    masses: np.ndarray,
+    theta: float,
+    eps: float,
+    open_self_cells: bool = False,
+    prepared: Optional[Tuple[np.ndarray, ...]] = None,
+    threads: int = 1,
+    kernel: Optional[CKernel] = None,
+) -> Tuple[np.ndarray, np.ndarray, Dict[str, float]]:
+    """C-kernel counterpart of :func:`repro.octree.flat.flat_gravity`.
+
+    Same signature contract and counter keys; interaction counts are
+    bit-exact vs the numpy traversal, accelerations agree to float64
+    round-off (per-body summation order differs).  ``threads`` > 1
+    chunks ``body_idx`` across a thread pool -- outputs are per-body
+    independent, so any thread count produces identical arrays.
+
+    Raises :class:`RuntimeError` if no kernel is loaded; callers gate on
+    :func:`c_kernel_available` (the backends fall back to numpy).
+    """
+    if kernel is None:
+        kernel = load_kernel()
+    if kernel is None:
+        raise RuntimeError(
+            "kernel_gravity called with no compiled kernel loaded "
+            "(see repro.kernels.kernel_status())")
+    k = len(body_idx)
+    if k == 0 or tree is None or tree.ncells == 0:
+        return _zero_result(k)
+    ids = np.ascontiguousarray(body_idx, dtype=np.int64)
+    if prepared is None:
+        from ..octree.flat import prepare_bodies
+
+        prepared = prepare_bodies(positions, masses)
+    px, py, pz, gmass = prepared
+    theta_sq = float(theta) * float(theta)
+    eps_sq = float(eps) * float(eps)
+    accx = np.empty(k)
+    accy = np.empty(k)
+    accz = np.empty(k)
+    work = np.empty(k)
+    bounds = _chunk_bounds(k, threads)
+    if len(bounds) == 1:
+        counters = np.empty(NCOUNTERS)
+        kernel.force_walk(ids, px, py, pz, gmass, tree,
+                          theta_sq, eps_sq, open_self_cells,
+                          accx, accy, accz, work, counters)
+        rows = counters[None, :]
+    else:
+        from concurrent.futures import ThreadPoolExecutor
+
+        rows = np.empty((len(bounds), NCOUNTERS))
+
+        def run(ci: int, lo: int, hi: int) -> None:
+            kernel.force_walk(ids[lo:hi], px, py, pz, gmass, tree,
+                              theta_sq, eps_sq, open_self_cells,
+                              accx[lo:hi], accy[lo:hi], accz[lo:hi],
+                              work[lo:hi], rows[ci])
+
+        with ThreadPoolExecutor(max_workers=len(bounds)) as pool:
+            futures = [pool.submit(run, ci, lo, hi)
+                       for ci, (lo, hi) in enumerate(bounds)]
+            for f in futures:
+                f.result()
+    acc = np.stack([accx, accy, accz], axis=1)
+    return acc, work, _counters_dict(
+        float(rows[:, 0].sum()), float(rows[:, 1].sum()),
+        float(rows[:, 2].sum()), float(rows[:, 3].sum()),
+        float(rows[:, 4].max()))
+
+
+def numba_gravity(
+    tree,
+    body_idx: np.ndarray,
+    positions: np.ndarray,
+    masses: np.ndarray,
+    theta: float,
+    eps: float,
+    open_self_cells: bool = False,
+    prepared: Optional[Tuple[np.ndarray, ...]] = None,
+    threads: int = 0,
+) -> Tuple[np.ndarray, np.ndarray, Dict[str, float]]:
+    """Numba counterpart of :func:`kernel_gravity` (``prange`` threads).
+
+    ``threads`` > 0 requests that many numba threads (best effort);
+    0 leaves numba's own default in place.
+    """
+    walk = get_numba_walk()
+    if walk is None:
+        raise RuntimeError("numba_gravity called but numba is unavailable")
+    k = len(body_idx)
+    if k == 0 or tree is None or tree.ncells == 0:
+        return _zero_result(k)
+    ids = np.ascontiguousarray(body_idx, dtype=np.int64)
+    if prepared is None:
+        from ..octree.flat import prepare_bodies
+
+        prepared = prepare_bodies(positions, masses)
+    px, py, pz, gmass = prepared
+    if threads > 0:
+        try:
+            import numba
+
+            numba.set_num_threads(min(threads,
+                                      numba.config.NUMBA_NUM_THREADS))
+        except Exception:
+            pass
+    accx = np.empty(k)
+    accy = np.empty(k)
+    accz = np.empty(k)
+    work = np.empty(k)
+    rows = np.empty((k, NCOUNTERS))
+    walk(ids, px, py, pz, gmass,
+         tree.cx, tree.cy, tree.cz, tree.size_sq, tree.half,
+         tree.ctx, tree.cty, tree.ctz, tree.gmass,
+         tree.cell_ptr, tree.cell_data, tree.lb_ptr, tree.lb_data,
+         float(theta) * float(theta), float(eps) * float(eps),
+         int(open_self_cells), accx, accy, accz, work, rows)
+    acc = np.stack([accx, accy, accz], axis=1)
+    return acc, work, _counters_dict(
+        float(rows[:, 0].sum()), float(rows[:, 1].sum()),
+        float(rows[:, 2].sum()), float(rows[:, 3].sum()),
+        float(rows[:, 4].max()))

@@ -1,0 +1,162 @@
+"""Optional numba twin of the C force walk (gated on import).
+
+The container this repo targets does not ship numba, so everything here
+is lazy: :func:`get_numba_walk` attempts the import on first call,
+memoizes the JIT-compiled walk on success, and memoizes ``None`` on any
+failure -- importing this module never raises.
+
+The compiled function is the same per-body stack walk as
+``_bh_kernel.c`` (same opening criterion, same self-exclusion, same
+counters), with ``prange`` over bodies for multi-core scaling; per-body
+counter rows keep the parallel loop race-free and deterministic
+(interaction counts are exact integers, accelerations are per-body
+independent, so thread count never changes any output).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .loader import NCOUNTERS
+
+#: matches BH_STACK_CAP in ``_bh_kernel.c`` (MAX_DEPTH-bounded trees)
+STACK_CAP = 4096
+
+_WALK: "object" = "unset"
+
+
+def numba_available() -> bool:
+    return get_numba_walk() is not None
+
+
+def get_numba_walk():
+    """The JIT-compiled walk ``fn(...) -> None``, or ``None``.
+
+    Signature (all arrays C-contiguous)::
+
+        fn(ids, px, py, pz, gmass,
+           cx, cy, cz, size_sq, half, ctx, cty, ctz, cgmass,
+           cell_ptr, cell_data, lb_ptr, lb_data,
+           theta_sq, eps_sq, open_self,
+           accx, accy, accz, work, counters_rows)
+
+    ``counters_rows`` is ``(len(ids), NCOUNTERS)`` float64; callers sum
+    columns 0..3 and max column 4 (per-body max depth) afterwards.
+    """
+    global _WALK
+    if _WALK != "unset":
+        return _WALK
+    try:
+        from numba import njit, prange
+    except Exception:
+        _WALK = None
+        return None
+
+    try:
+        @njit(parallel=True, fastmath=False, cache=False)
+        def _walk(ids, px, py, pz, gmass,
+                  cx, cy, cz, size_sq, half, ctx, cty, ctz, cgmass,
+                  cell_ptr, cell_data, lb_ptr, lb_data,
+                  theta_sq, eps_sq, open_self,
+                  accx, accy, accz, work, counters_rows):
+            k = ids.shape[0]
+            for i in prange(k):
+                body = ids[i]
+                gx = px[body]
+                gy = py[body]
+                gz = pz[body]
+                ax = 0.0
+                ay = 0.0
+                az = 0.0
+                w = 0.0
+                tests = 0.0
+                accepts = 0.0
+                opens = 0.0
+                leaf = 0.0
+                maxdepth = -1
+                stack_node = np.empty(STACK_CAP, dtype=np.int64)
+                stack_depth = np.empty(STACK_CAP, dtype=np.int64)
+                sp = 1
+                stack_node[0] = 0
+                stack_depth[0] = 0
+                while sp > 0:
+                    sp -= 1
+                    node = stack_node[sp]
+                    depth = stack_depth[sp]
+                    tests += 1.0
+                    if depth > maxdepth:
+                        maxdepth = depth
+                    dx = cx[node] - gx
+                    dy = cy[node] - gy
+                    dz = cz[node] - gz
+                    dsq = dx * dx + dy * dy + dz * dz
+                    far = size_sq[node] < theta_sq * dsq
+                    if far and open_self:
+                        h = half[node]
+                        if (abs(gx - ctx[node]) <= h
+                                and abs(gy - cty[node]) <= h
+                                and abs(gz - ctz[node]) <= h):
+                            far = False
+                    if far:
+                        accepts += 1.0
+                        dq = dsq + eps_sq
+                        inv = cgmass[node] / (dq * np.sqrt(dq))
+                        ax += dx * inv
+                        ay += dy * inv
+                        az += dz * inv
+                        w += 1.0
+                        continue
+                    opens += 1.0
+                    for j in range(lb_ptr[node], lb_ptr[node + 1]):
+                        src = lb_data[j]
+                        if src == body:
+                            continue
+                        ldx = px[src] - gx
+                        ldy = py[src] - gy
+                        ldz = pz[src] - gz
+                        ldsq = ldx * ldx + ldy * ldy + ldz * ldz
+                        ldsq += eps_sq
+                        linv = gmass[src] / (ldsq * np.sqrt(ldsq))
+                        ax += ldx * linv
+                        ay += ldy * linv
+                        az += ldz * linv
+                        w += 1.0
+                        leaf += 1.0
+                    for j in range(cell_ptr[node], cell_ptr[node + 1]):
+                        stack_node[sp] = cell_data[j]
+                        stack_depth[sp] = depth + 1
+                        sp += 1
+                accx[i] = ax
+                accy[i] = ay
+                accz[i] = az
+                work[i] = w
+                counters_rows[i, 0] = tests
+                counters_rows[i, 1] = accepts
+                counters_rows[i, 2] = opens
+                counters_rows[i, 3] = leaf
+                counters_rows[i, 4] = maxdepth
+
+        # trip compilation now on a 1-cell toy tree so a broken numba
+        # install degrades here (memoized None) instead of mid-step
+        z1 = np.zeros(1)
+        zi = np.zeros(1, dtype=np.int64)
+        ptr = np.array([0, 0], dtype=np.int64)
+        out = np.zeros(1)
+        _walk(zi, z1, z1, z1, z1,
+              z1, z1, z1, np.ones(1), z1, z1, z1, z1, z1,
+              ptr, zi, ptr, zi, 1.0, 0.0, 0,
+              out.copy(), out.copy(), out.copy(), out.copy(),
+              np.zeros((1, NCOUNTERS)))
+    except Exception:
+        _WALK = None
+        return None
+    _WALK = _walk
+    return _walk
+
+
+def reset_numba_cache() -> None:
+    """Forget the memoized compile result (tests only)."""
+    global _WALK
+    _WALK = "unset"

@@ -37,6 +37,7 @@ canonical arrays on construction.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -298,6 +299,46 @@ def prepare_bodies(positions: np.ndarray,
             G * masses)
 
 
+class _Scratch:
+    """Capacity-keyed reusable temp buffers for the level loop.
+
+    ``flat_gravity`` used to allocate ~a dozen frontier-sized
+    temporaries (gathered coordinates, distance components, opening
+    masks, interaction weights) with ``np.empty`` *per level per call*;
+    this pool hands out slices of buffers that grow geometrically and
+    are reused across levels and calls.  Only value-temporaries live
+    here -- arrays that escape a level (the next frontier, ``bincount``
+    outputs, the returned accumulators) are still freshly allocated.
+
+    One pool per thread (see :func:`_scratch`): concurrent
+    ``flat_gravity`` calls never share buffers.
+    """
+
+    __slots__ = ("_arrs",)
+
+    def __init__(self) -> None:
+        self._arrs: Dict[str, np.ndarray] = {}
+
+    def get(self, key: str, n: int,
+            dtype: "np.dtype | type" = np.float64) -> np.ndarray:
+        arr = self._arrs.get(key)
+        if arr is None or len(arr) < n:
+            cap = max(16, 1 << int(max(n - 1, 1)).bit_length())
+            arr = np.empty(cap, dtype=dtype)
+            self._arrs[key] = arr
+        return arr[:n]
+
+
+_SCRATCH_TLS = threading.local()
+
+
+def _scratch() -> _Scratch:
+    pool = getattr(_SCRATCH_TLS, "pool", None)
+    if pool is None:
+        pool = _SCRATCH_TLS.pool = _Scratch()
+    return pool
+
+
 def flat_gravity(
     tree: FlatTree,
     body_idx: np.ndarray,
@@ -351,51 +392,86 @@ def flat_gravity(
 
     # frontier of (body row, cell row) pairs; every body starts at the
     # root.  ``rows`` stays sorted ascending through every expansion, so
-    # the bincount scatter-adds below stream through memory.
+    # the bincount scatter-adds below stream through memory.  All
+    # frontier-sized value-temporaries below come from the thread-local
+    # scratch pool (same arithmetic sequence as the allocating version,
+    # so results are bit-identical).
     rows = np.arange(k, dtype=np.int64)
     nodes = np.zeros(k, dtype=np.int64)
+    sc = _scratch()
 
     while rows.size:
+        m = rows.size
         if tracer is not None:
             tracer.begin("level", "traversal",
                          level=int(counters["levels"]),
-                         frontier=int(rows.size))
+                         frontier=int(m))
             leaf0 = counters["leaf_interactions"]
         counters["levels"] += 1
-        counters["cell_tests"] += rows.size
-        dx = tree.cx[nodes]
-        dx -= gx[rows]
-        dy = tree.cy[nodes]
-        dy -= gy[rows]
-        dz = tree.cz[nodes]
-        dz -= gz[rows]
-        dsq = dx * dx
-        dsq += dy * dy
-        dsq += dz * dz
-        far = tree.size_sq[nodes] < theta_sq * dsq
+        counters["cell_tests"] += m
+        gxr = np.take(gx, rows, out=sc.get("gxr", m))
+        gyr = np.take(gy, rows, out=sc.get("gyr", m))
+        gzr = np.take(gz, rows, out=sc.get("gzr", m))
+        dx = np.take(tree.cx, nodes, out=sc.get("dx", m))
+        dx -= gxr
+        dy = np.take(tree.cy, nodes, out=sc.get("dy", m))
+        dy -= gyr
+        dz = np.take(tree.cz, nodes, out=sc.get("dz", m))
+        dz -= gzr
+        dsq = np.multiply(dx, dx, out=sc.get("dsq", m))
+        t = sc.get("t", m)
+        dsq += np.multiply(dy, dy, out=t)
+        dsq += np.multiply(dz, dz, out=t)
+        np.multiply(dsq, theta_sq, out=t)
+        ssq = np.take(tree.size_sq, nodes, out=sc.get("t2", m))
+        far = np.less(ssq, t, out=sc.get("far", m, np.bool_))
         if open_self_cells:
-            half = tree.half[nodes]
-            inside = np.abs(gx[rows] - tree.ctx[nodes]) <= half
-            inside &= np.abs(gy[rows] - tree.cty[nodes]) <= half
-            inside &= np.abs(gz[rows] - tree.ctz[nodes]) <= half
-            far &= ~inside
+            half = np.take(tree.half, nodes, out=sc.get("t3", m))
+            d = np.take(tree.ctx, nodes, out=sc.get("t2", m))
+            np.subtract(gxr, d, out=d)
+            np.abs(d, out=d)
+            inside = np.less_equal(d, half,
+                                   out=sc.get("inside", m, np.bool_))
+            ib = sc.get("ib", m, np.bool_)
+            d = np.take(tree.cty, nodes, out=d)
+            np.subtract(gyr, d, out=d)
+            np.abs(d, out=d)
+            inside &= np.less_equal(d, half, out=ib)
+            d = np.take(tree.ctz, nodes, out=d)
+            np.subtract(gzr, d, out=d)
+            np.abs(d, out=d)
+            inside &= np.less_equal(d, half, out=ib)
+            np.logical_not(inside, out=inside)
+            far &= inside
         n_far = int(far.sum())
         if n_far:
             counters["cell_accepts"] += n_far
-            sel = rows[far]
-            dq = dsq[far]
+            fi = np.flatnonzero(far)
+            sel = np.take(rows, fi, out=sc.get("sel", n_far, np.int64))
+            dq = np.take(dsq, fi, out=sc.get("dq", n_far))
             dq += eps_sq
-            inv = tree.gmass[nodes[far]]
-            inv /= dq * np.sqrt(dq)
-            accx += np.bincount(sel, weights=dx[far] * inv, minlength=k)
-            accy += np.bincount(sel, weights=dy[far] * inv, minlength=k)
-            accz += np.bincount(sel, weights=dz[far] * inv, minlength=k)
+            ni = np.take(nodes, fi, out=sc.get("ni", n_far, np.int64))
+            inv = np.take(tree.gmass, ni, out=sc.get("inv", n_far))
+            ft = sc.get("ft", n_far)
+            np.sqrt(dq, out=ft)
+            np.multiply(dq, ft, out=ft)
+            inv /= ft
+            fw = sc.get("fw", n_far)
+            np.take(dx, fi, out=fw)
+            fw *= inv
+            accx += np.bincount(sel, weights=fw, minlength=k)
+            np.take(dy, fi, out=fw)
+            fw *= inv
+            accy += np.bincount(sel, weights=fw, minlength=k)
+            np.take(dz, fi, out=fw)
+            fw *= inv
+            accz += np.bincount(sel, weights=fw, minlength=k)
             work += np.bincount(sel, minlength=k)
-        if n_far == rows.size:
+        if n_far == m:
             if tracer is not None:
                 tracer.end(accepts=n_far, leaf_interactions=0.0)
             break
-        near = ~far
+        near = np.logical_not(far, out=far)
         op_rows = rows[near]
         op_nodes = nodes[near]
         counters["cell_opens"] += op_rows.size
@@ -405,26 +481,35 @@ def flat_gravity(
         if lcounts.any():
             rows2 = np.repeat(op_rows, lcounts)
             src = tree.lb_data[_ranges(tree.lb_ptr[op_nodes], lcounts)]
-            ldx = px[src]
-            ldx -= gx[rows2]
-            ldy = py[src]
-            ldy -= gy[rows2]
-            ldz = pz[src]
-            ldz -= gz[rows2]
-            ldsq = ldx * ldx
-            ldsq += ldy * ldy
-            ldsq += ldz * ldz
+            L = rows2.size
+            ldx = np.take(px, src, out=sc.get("ldx", L))
+            ldx -= np.take(gx, rows2, out=sc.get("lg", L))
+            ldy = np.take(py, src, out=sc.get("ldy", L))
+            ldy -= np.take(gy, rows2, out=sc.get("lg", L))
+            ldz = np.take(pz, src, out=sc.get("ldz", L))
+            ldz -= np.take(gz, rows2, out=sc.get("lg", L))
+            ldsq = np.multiply(ldx, ldx, out=sc.get("ldsq", L))
+            lt = sc.get("lt", L)
+            ldsq += np.multiply(ldy, ldy, out=lt)
+            ldsq += np.multiply(ldz, ldz, out=lt)
             ldsq += eps_sq
-            inv = gmass[src]
-            inv /= ldsq * np.sqrt(ldsq)
-            eq = src == ids[rows2]
+            inv = np.take(gmass, src, out=sc.get("linv", L))
+            np.sqrt(ldsq, out=lt)
+            np.multiply(ldsq, lt, out=lt)
+            inv /= lt
+            lid = np.take(ids, rows2, out=sc.get("lid", L, np.int64))
+            eq = np.equal(src, lid, out=sc.get("leq", L, np.bool_))
             n_eq = int(eq.sum())
             if n_eq:
                 inv[eq] = 0.0
-            counters["leaf_interactions"] += rows2.size - n_eq
-            accx += np.bincount(rows2, weights=ldx * inv, minlength=k)
-            accy += np.bincount(rows2, weights=ldy * inv, minlength=k)
-            accz += np.bincount(rows2, weights=ldz * inv, minlength=k)
+            counters["leaf_interactions"] += L - n_eq
+            lw = sc.get("lw", L)
+            np.multiply(ldx, inv, out=lw)
+            accx += np.bincount(rows2, weights=lw, minlength=k)
+            np.multiply(ldy, inv, out=lw)
+            accy += np.bincount(rows2, weights=lw, minlength=k)
+            np.multiply(ldz, inv, out=lw)
+            accz += np.bincount(rows2, weights=lw, minlength=k)
             work += np.bincount(rows2, minlength=k)
             if n_eq:
                 work -= np.bincount(rows2[eq], minlength=k)

@@ -49,7 +49,8 @@ def _forces(backend_cls, cfg, root, bodies, idx):
 
 class TestRegistry:
     def test_names(self):
-        assert backend_names() == ["direct", "flat", "object-tree"]
+        assert backend_names() == ["direct", "flat", "flat-c",
+                                   "flat-numba", "object-tree"]
         assert DEFAULT_BACKEND == "object-tree"
         assert BHConfig().force_backend == DEFAULT_BACKEND
 

@@ -1,0 +1,375 @@
+"""Compiled force-kernel subsystem: loader, parity, chunking, degradation.
+
+The parity contract mirrors the flat-vs-object-tree matrix: the C walk
+must visit exactly the numpy traversal's interaction sets (bit-exact
+``work`` arrays and aggregate counters) with accelerations differing
+only in summation order (<= 1e-12 absolute), across every registered
+distribution, both theta values, and both opening rules.  Thread-count
+invariance is exact: chunking is per-body independent, so any worker
+count must produce bit-identical arrays.
+
+Everything that needs a loaded kernel is skipped on a box where neither
+the built extension nor a C compiler exists -- the degradation tests
+below are precisely about that box staying green.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import BHConfig, BarnesHutSimulation, run_variant
+from repro.backends import (
+    BACKENDS,
+    CompiledFlatBackend,
+    FlatBackend,
+    NumbaFlatBackend,
+    backend_names,
+    get_backend,
+    make_backend,
+)
+from repro.kernels import c_kernel_available, kernel_gravity
+from repro.kernels.numba_kernel import numba_available
+from repro.nbody.bbox import compute_root
+from repro.nbody.distributions import make_distribution
+from repro.octree.flat import flat_gravity
+from repro.octree.morton_build import build_flat_tree
+
+needs_kernel = pytest.mark.skipif(
+    not c_kernel_available(),
+    reason="no compiled kernel (no built extension, no C toolchain)")
+
+needs_numba = pytest.mark.skipif(
+    not numba_available(), reason="numba not importable")
+
+
+def _tree_and_bodies(dist, n, seed=42):
+    bodies = make_distribution(dist, n, seed=seed)
+    box = compute_root(bodies.pos, 4.0)
+    tree = build_flat_tree(bodies.pos, bodies.mass, box)
+    return tree, bodies
+
+
+class TestRegistry:
+    def test_compiled_backends_registered(self):
+        assert backend_names() == ["direct", "flat", "flat-c",
+                                   "flat-numba", "object-tree"]
+        assert get_backend("flat-c") is CompiledFlatBackend
+        assert get_backend("flat-numba") is NumbaFlatBackend
+        # both inherit every FlatTree build path from the flat engine
+        assert issubclass(CompiledFlatBackend, FlatBackend)
+        assert issubclass(NumbaFlatBackend, FlatBackend)
+
+    def test_ladder_rung_is_flat(self):
+        assert CompiledFlatBackend.fallback_name == "flat"
+        assert NumbaFlatBackend.fallback_name == "flat"
+        # the full ladder bottoms out: flat-c -> flat -> object-tree ->
+        # direct -> None
+        chain = []
+        cls = CompiledFlatBackend
+        while cls is not None:
+            chain.append(cls.name)
+            nxt = cls.fallback_name
+            cls = BACKENDS[nxt] if nxt is not None else None
+        assert chain == ["flat-c", "flat", "object-tree", "direct"]
+
+    def test_config_accepts_compiled_names(self):
+        assert BHConfig(force_backend="flat-c").force_backend == "flat-c"
+        assert BHConfig(force_backend="flat-numba").kernel_threads == 0
+        with pytest.raises(ValueError, match="kernel_threads"):
+            BHConfig(kernel_threads=-1)
+
+    def test_selection_never_errors_without_kernel(self):
+        # soft availability gate: construction works on every box; the
+        # instance either runs the kernel or serves the numpy engine
+        b = make_backend("flat-c", BHConfig(nbodies=64))
+        assert b.kernel_active == c_kernel_available()
+
+
+@needs_kernel
+class TestParityMatrix:
+    @pytest.mark.parametrize("dist", ["collision", "disk", "plummer",
+                                      "uniform"])
+    @pytest.mark.parametrize("theta", [0.5, 1.0])
+    def test_bit_exact_interactions_and_accel(self, dist, theta):
+        tree, bodies = _tree_and_bodies(dist, 384)
+        idx = np.arange(384)
+        ref_acc, ref_work, ref_c = flat_gravity(
+            tree, idx, bodies.pos, bodies.mass, theta, 0.05)
+        acc, work, c = kernel_gravity(
+            tree, idx, bodies.pos, bodies.mass, theta, 0.05)
+        assert np.array_equal(work, ref_work)
+        assert c == ref_c
+        assert np.abs(acc - ref_acc).max() <= 1e-12
+
+    @pytest.mark.parametrize("open_self", [False, True])
+    def test_opening_rule_parity(self, open_self):
+        tree, bodies = _tree_and_bodies("plummer", 256)
+        idx = np.arange(256)
+        ref_acc, ref_work, ref_c = flat_gravity(
+            tree, idx, bodies.pos, bodies.mass, 1.0, 0.05,
+            open_self_cells=open_self)
+        acc, work, c = kernel_gravity(
+            tree, idx, bodies.pos, bodies.mass, 1.0, 0.05,
+            open_self_cells=open_self)
+        assert np.array_equal(work, ref_work)
+        assert c == ref_c
+        assert np.abs(acc - ref_acc).max() <= 1e-12
+
+    def test_subset_and_empty_groups(self):
+        tree, bodies = _tree_and_bodies("plummer", 256)
+        sub = np.arange(31, 200, 7)
+        ref_acc, ref_work, _ = flat_gravity(
+            tree, sub, bodies.pos, bodies.mass, 1.0, 0.05)
+        acc, work, _ = kernel_gravity(
+            tree, sub, bodies.pos, bodies.mass, 1.0, 0.05)
+        assert np.array_equal(work, ref_work)
+        assert np.abs(acc - ref_acc).max() <= 1e-12
+        empty_acc, empty_work, empty_c = kernel_gravity(
+            tree, np.empty(0, dtype=np.int64), bodies.pos, bodies.mass,
+            1.0, 0.05)
+        assert empty_acc.shape == (0, 3) and empty_work.shape == (0,)
+        assert empty_c["levels"] == 0.0
+
+    def test_max_depth_bucket_leaves(self):
+        # near-coincident bodies drive the build into MAX_DEPTH bucket
+        # leaves (multi-body spans); the kernel must walk them exactly
+        bodies = make_distribution("plummer", 128, seed=1)
+        pos = bodies.pos.copy()
+        pos[3] = pos[2] + 1e-14
+        pos[4] = pos[2]
+        box = compute_root(pos, 4.0)
+        tree = build_flat_tree(pos, bodies.mass, box)
+        idx = np.arange(128)
+        ref_acc, ref_work, ref_c = flat_gravity(
+            tree, idx, pos, bodies.mass, 1.0, 0.05)
+        acc, work, c = kernel_gravity(tree, idx, pos, bodies.mass,
+                                      1.0, 0.05)
+        assert np.array_equal(work, ref_work)
+        assert c == ref_c
+        assert np.abs(acc - ref_acc).max() <= 1e-12
+
+
+@needs_kernel
+class TestThreadChunking:
+    @pytest.mark.parametrize("threads", [2, 4, 7])
+    def test_thread_count_invariance_is_exact(self, threads):
+        tree, bodies = _tree_and_bodies("plummer", 2048)
+        idx = np.arange(2048)
+        acc1, work1, c1 = kernel_gravity(
+            tree, idx, bodies.pos, bodies.mass, 1.0, 0.05, threads=1)
+        accT, workT, cT = kernel_gravity(
+            tree, idx, bodies.pos, bodies.mass, 1.0, 0.05,
+            threads=threads)
+        assert np.array_equal(acc1, accT)
+        assert np.array_equal(work1, workT)
+        assert c1 == cT
+
+    def test_small_groups_stay_single_chunk(self):
+        from repro.kernels import _chunk_bounds
+
+        # below MIN_CHUNK a thread hand-off is never worth it
+        assert _chunk_bounds(100, 8) == [(0, 100)]
+        bounds = _chunk_bounds(5000, 4)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 5000
+        assert all(a < b for a, b in bounds)
+        assert [b for _, b in bounds[:-1]] == [a for a, _ in bounds[1:]]
+
+
+@needs_kernel
+class TestCompiledBackend:
+    def test_matches_flat_backend_through_contract(self):
+        cfg = BHConfig(nbodies=512, force_backend="flat-c")
+        bodies = make_distribution("plummer", 512, seed=42)
+        idx = np.arange(512)
+        compiled = make_backend("flat-c", cfg)
+        flat = make_backend("flat", cfg.with_(force_backend="flat"))
+        compiled.begin_step(None, bodies)
+        flat.begin_step(None, bodies)
+        res_c = compiled.accelerations(idx, bodies)
+        res_f = flat.accelerations(idx, bodies)
+        assert np.array_equal(res_c.work, res_f.work)
+        assert res_c.counters == res_f.counters
+        assert np.abs(res_c.acc - res_f.acc).max() <= 1e-12
+
+    def test_inherits_all_build_paths(self):
+        bodies = make_distribution("plummer", 256, seed=42)
+        idx = np.arange(256)
+        results = {}
+        for build in ("morton", "incremental"):
+            cfg = BHConfig(nbodies=256, force_backend="flat-c",
+                           flat_build=build)
+            b = make_backend("flat-c", cfg)
+            b.begin_step(None, bodies)
+            results[build] = b.accelerations(idx, bodies)
+        assert np.array_equal(results["morton"].work,
+                              results["incremental"].work)
+        assert np.array_equal(results["morton"].acc,
+                              results["incremental"].acc)
+
+    def test_accelerations_before_begin_step_raises(self):
+        b = make_backend("flat-c", BHConfig(nbodies=64))
+        bodies = make_distribution("plummer", 64, seed=1)
+        with pytest.raises(RuntimeError, match="begin_step"):
+            b.accelerations(np.arange(64), bodies)
+
+    def test_telemetry_spans_match_flat(self):
+        from repro.obs.trace import Tracer
+
+        cfg = BHConfig(nbodies=128, force_backend="flat-c")
+        bodies = make_distribution("plummer", 128, seed=42)
+        tracer = Tracer()
+        b = make_backend("flat-c", cfg, tracer=tracer)
+        b.begin_step(None, bodies)
+        b.accelerations(np.arange(128), bodies)
+        names = {(s.name, s.cat) for s in tracer.spans}
+        assert ("flat.begin_step", "backend") in names
+        assert ("flat.accelerations", "backend") in names
+        span = [s for s in tracer.spans
+                if s.name == "flat.accelerations"][-1]
+        assert span.args.get("kernel") == "c"
+        assert span.args.get("interactions") > 0
+
+    def test_run_variant_end_to_end_parity(self):
+        cfg = BHConfig(nbodies=384, nsteps=3, warmup_steps=1,
+                       force_backend="flat-c")
+        res_c = run_variant("baseline", cfg, 4)
+        res_f = run_variant("baseline",
+                            cfg.with_(force_backend="flat"), 4)
+        assert res_c.counter("interactions") \
+            == res_f.counter("interactions")
+
+
+class TestGracefulDegradation:
+    @pytest.fixture()
+    def fresh_loader(self, monkeypatch):
+        """Un-memoize the kernel for one test; monkeypatch restores the
+        real memoized state afterwards (teardown must not re-load while
+        the env gates are still patched)."""
+        from repro.kernels import loader
+
+        monkeypatch.setattr(loader, "_KERNEL", "unset")
+        monkeypatch.setattr(loader, "_WARNED", False)
+        saved_status = list(loader._STATUS)
+        yield loader
+        loader._STATUS[:] = saved_status
+
+    def test_env_disable_serves_flat_with_single_warning(
+            self, fresh_loader, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_KERNELS", "1")
+        cfg = BHConfig(nbodies=128, force_backend="flat-c")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            b1 = make_backend("flat-c", cfg)
+            b2 = make_backend("flat-c", cfg)
+        relevant = [w for w in caught
+                    if "compiled force kernel unavailable"
+                    in str(w.message)]
+        assert len(relevant) == 1  # warned once, not per construction
+        assert issubclass(relevant[0].category, RuntimeWarning)
+        assert b1.kernel is None and b2.kernel is None
+        assert not b1.kernel_active
+        # the instance serves the numpy flat engine bit-identically
+        bodies = make_distribution("plummer", 128, seed=42)
+        idx = np.arange(128)
+        b1.begin_step(None, bodies)
+        flat = make_backend("flat", cfg.with_(force_backend="flat"))
+        flat.begin_step(None, bodies)
+        res = b1.accelerations(idx, bodies)
+        ref = flat.accelerations(idx, bodies)
+        assert np.array_equal(res.acc, ref.acc)
+        assert np.array_equal(res.work, ref.work)
+        assert res.counters == ref.counters
+
+    def test_no_compiler_no_extension_never_raises(
+            self, fresh_loader, monkeypatch, tmp_path):
+        # simulate a box with no built artifact and a broken toolchain
+        monkeypatch.setattr(fresh_loader, "_built_extension_path",
+                            lambda: None)
+        monkeypatch.setenv("REPRO_KERNEL_CC", str(tmp_path / "no-cc"))
+        monkeypatch.setenv("REPRO_KERNEL_CACHE", str(tmp_path / "cache"))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            kernel = fresh_loader.load_kernel()
+        assert kernel is None
+        assert any("compiled force kernel unavailable" in str(w.message)
+                   for w in caught)
+        assert fresh_loader.kernel_status()  # diagnostics recorded
+        # the full selection path still works
+        b = make_backend("flat-c", BHConfig(nbodies=64,
+                                            force_backend="flat-c"))
+        bodies = make_distribution("plummer", 64, seed=1)
+        b.begin_step(None, bodies)
+        res = b.accelerations(np.arange(64), bodies)
+        assert np.isfinite(res.acc).all()
+
+    def test_numba_backend_serves_flat_without_numba(self):
+        if numba_available():
+            pytest.skip("numba present: the gate is exercised for real")
+        cfg = BHConfig(nbodies=128, force_backend="flat-numba")
+        b = make_backend("flat-numba", cfg)
+        assert not b.kernel_active
+        bodies = make_distribution("plummer", 128, seed=42)
+        idx = np.arange(128)
+        b.begin_step(None, bodies)
+        flat = make_backend("flat", cfg.with_(force_backend="flat"))
+        flat.begin_step(None, bodies)
+        assert np.array_equal(b.accelerations(idx, bodies).acc,
+                              flat.accelerations(idx, bodies).acc)
+
+
+@needs_kernel
+class TestResilienceLadder:
+    def test_kernel_fault_degrades_to_flat(self):
+        from repro.resilience.degrade import ResilientBackend
+
+        cfg = BHConfig(nbodies=192, force_backend="flat-c")
+        bodies = make_distribution("plummer", 192, seed=3)
+        idx = np.arange(192)
+        primary = make_backend("flat-c", cfg)
+        assert primary.kernel_active
+
+        class BrokenKernel:
+            def force_walk(self, *a, **kw):
+                raise RuntimeError("injected kernel fault")
+
+        primary.kernel = BrokenKernel()
+        wrapped = ResilientBackend(primary, cfg)
+        wrapped.begin_step(None, bodies)
+        res = wrapped.accelerations(idx, bodies)
+        assert wrapped.fallback is not None
+        assert wrapped.fallback.name == "flat"
+        assert wrapped.fallbacks_served == 1
+        # the rung below computes the same physics from the same tree
+        ref = make_backend("flat", cfg.with_(force_backend="flat"))
+        ref.begin_step(None, bodies)
+        ref_res = ref.accelerations(idx, bodies)
+        assert np.array_equal(res.work, ref_res.work)
+        assert np.abs(res.acc - ref_res.acc).max() <= 1e-12
+
+    def test_injected_backend_fault_recovers_in_full_run(self):
+        # the fault-injection harness covers flat-c like any backend
+        cfg = BHConfig(nbodies=256, nsteps=4, warmup_steps=1,
+                       force_backend="flat-c",
+                       inject=("force:2:backend",))
+        sim = BarnesHutSimulation(cfg, 4, variant="baseline")
+        res = sim.run()
+        assert np.isfinite(res.bodies.pos).all()
+        counts = sim.resilience.counts
+        assert counts.get(("backend_fallbacks", "flat-c->flat")) == 1
+
+
+@needs_numba
+class TestNumbaParity:
+    def test_bit_exact_interactions(self):
+        from repro.kernels import numba_gravity
+
+        tree, bodies = _tree_and_bodies("plummer", 384)
+        idx = np.arange(384)
+        ref_acc, ref_work, ref_c = flat_gravity(
+            tree, idx, bodies.pos, bodies.mass, 1.0, 0.05)
+        acc, work, c = numba_gravity(tree, idx, bodies.pos, bodies.mass,
+                                     1.0, 0.05)
+        assert np.array_equal(work, ref_work)
+        assert c == ref_c
+        assert np.abs(acc - ref_acc).max() <= 1e-12
